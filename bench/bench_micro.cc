@@ -1,0 +1,152 @@
+// Google-benchmark microbenchmarks for OrpheusDB's primitive
+// operations: the array operators behind the data models, the
+// checkout join, commit under the two main data models, and the
+// LYRESPLIT partitioner itself.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/data_model.h"
+#include "partition/lyresplit.h"
+#include "relstore/database.h"
+#include "relstore/intarray_codec.h"
+#include "workload/generator.h"
+
+namespace orpheus {
+namespace {
+
+// Shared medium dataset (generated once; benchmarks only read it).
+const wl::Dataset& SharedData() {
+  static const wl::Dataset* data = [] {
+    wl::DatasetSpec spec = bench::MediumSpec(wl::WorkloadKind::kSci);
+    spec.num_attrs = 10;
+    return new wl::Dataset(wl::Generate(spec));
+  }();
+  return *data;
+}
+
+void BM_ArrayContainmentScan(benchmark::State& state) {
+  // The combined-table checkout predicate: ARRAY[v] <@ vlist per row.
+  rel::Database db;
+  (void)db.Execute("CREATE TABLE t (rid INT, vlist INT[])");
+  {
+    auto table = db.GetTable("t");
+    rel::Chunk& chunk = table.value()->mutable_chunk();
+    for (int64_t r = 0; r < state.range(0); ++r) {
+      chunk.mutable_column(0).AppendInt(r);
+      rel::IntArray vlist;
+      for (int64_t v = r % 7; v < 10; ++v) vlist.push_back(v);
+      chunk.mutable_column(1).AppendArray(std::move(vlist));
+    }
+  }
+  for (auto _ : state) {
+    auto r = db.Execute("SELECT count(*) FROM t WHERE ARRAY[5] <@ vlist");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ArrayContainmentScan)->Arg(10000)->Arg(50000);
+
+void BM_CheckoutUnnestJoin(benchmark::State& state) {
+  // The split-by-rlist checkout query on a populated model.
+  const wl::Dataset& data = SharedData();
+  rel::Database db;
+  auto model = core::MakeDataModel(core::DataModelKind::kSplitByRlist, &db, "m",
+                                   data.DataSchema());
+  if (!bench::PopulateModel(&db, model.get(), data).ok()) {
+    state.SkipWithError("populate failed");
+    return;
+  }
+  core::VersionId latest = data.versions().back().vid;
+  int i = 0;
+  for (auto _ : state) {
+    std::string table = "chk" + std::to_string(i++);
+    if (!model->CheckoutVersion(latest, table).ok()) {
+      state.SkipWithError("checkout failed");
+      return;
+    }
+    (void)db.DropTable(table);
+  }
+}
+BENCHMARK(BM_CheckoutUnnestJoin);
+
+void BM_CommitRlistVsCombined(benchmark::State& state) {
+  // Commit (unchanged latest version) under rlist (arg 0) vs combined
+  // (arg 1) — the Figure 3(b) gap in microcosm.
+  const wl::Dataset& data = SharedData();
+  core::DataModelKind kind = state.range(0) == 0
+                                 ? core::DataModelKind::kSplitByRlist
+                                 : core::DataModelKind::kCombinedTable;
+  rel::Database db;
+  auto model = core::MakeDataModel(kind, &db, "m", data.DataSchema());
+  if (!bench::PopulateModel(&db, model.get(), data).ok()) {
+    state.SkipWithError("populate failed");
+    return;
+  }
+  const wl::VersionSpec& latest = data.versions().back();
+  if (!model->CheckoutVersion(latest.vid, "work").ok()) {
+    state.SkipWithError("checkout failed");
+    return;
+  }
+  core::VersionId next = static_cast<core::VersionId>(data.versions().size()) + 1;
+  for (auto _ : state) {
+    if (!model->AddVersion(next++, "work", latest.rids, rel::Chunk(),
+                           latest.vid).ok()) {
+      state.SkipWithError("commit failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_CommitRlistVsCombined)->Arg(0)->Arg(1);
+
+void BM_RlistCompression(benchmark::State& state) {
+  // §3.2's compression remark as an ablation: encode/decode the
+  // rlists of a generated workload and report the size ratio.
+  const wl::Dataset& data = SharedData();
+  int64_t plain = 0;
+  int64_t encoded_bytes = 0;
+  for (auto _ : state) {
+    plain = 0;
+    encoded_bytes = 0;
+    for (const wl::VersionSpec& v : data.versions()) {
+      auto encoded = rel::EncodeSortedArray(v.rids);
+      if (!encoded.ok()) {
+        state.SkipWithError("encode failed");
+        return;
+      }
+      plain += rel::PlainSize(v.rids);
+      encoded_bytes += static_cast<int64_t>(encoded.value().size());
+      auto decoded = rel::DecodeSortedArray(encoded.value());
+      benchmark::DoNotOptimize(decoded);
+    }
+  }
+  state.counters["compression_ratio"] =
+      static_cast<double>(plain) / static_cast<double>(encoded_bytes);
+}
+BENCHMARK(BM_RlistCompression);
+
+void BM_LyreSplit(benchmark::State& state) {
+  const wl::Dataset& data = SharedData();
+  core::VersionGraph graph = data.BuildGraph();
+  for (auto _ : state) {
+    auto r = part::LyreSplit::Run(graph, 0.5);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LyreSplit);
+
+void BM_LyreSplitBudgetSearch(benchmark::State& state) {
+  const wl::Dataset& data = SharedData();
+  core::VersionGraph graph = data.BuildGraph();
+  int64_t gamma = 2 * data.num_records();
+  for (auto _ : state) {
+    auto r = part::LyreSplit::RunForBudget(graph, gamma);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LyreSplitBudgetSearch);
+
+}  // namespace
+}  // namespace orpheus
+
+BENCHMARK_MAIN();

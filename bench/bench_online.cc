@@ -1,0 +1,152 @@
+// Figures 14 & 15 reproduction: online maintenance and migration.
+//
+// Versions stream in; after each commit the online maintainer places
+// the version (join parent's partition or open a new one), re-runs
+// LYRESPLIT for the best achievable checkout cost C*avg, and migrates
+// when Cavg > µ C*avg.
+//
+// Panel (a): checkout-cost trajectory (live Cavg vs C*avg) for
+// µ ∈ {1.5, 2} — live cost diverges slowly and snaps back on
+// migration; larger µ migrates less often.
+// Panel (b): migration times across µ ∈ {1.05, 1.2, 1.5, 2, 2.5}
+// with the intelligent engine, plus the naive rebuild at µ = 1.05 —
+// intelligent is several times cheaper, and cheaper still for small µ.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/str_util.h"
+#include "partition/online.h"
+
+using namespace orpheus;         // NOLINT
+using namespace orpheus::bench;  // NOLINT
+
+namespace {
+
+struct RunSummary {
+  int migrations = 0;
+  double total_migration_seconds = 0;
+  double max_divergence = 0;  // max Cavg / C*avg observed
+  int64_t rows_moved = 0;
+};
+
+Result<RunSummary> StreamVersions(const wl::Dataset& data, double gamma_factor,
+                                  double mu, bool intelligent, bool trace) {
+  rel::Database db;
+  ORPHEUS_RETURN_NOT_OK(db.AdoptTable("src_data", data.AllRecordRows(), {"rid"}));
+  part::PartitionStore store(&db, "on", "src_data");
+  part::OnlineOptions options;
+  options.gamma_factor = gamma_factor;
+  options.mu = mu;
+  options.intelligent_migration = intelligent;
+  part::OnlineMaintainer maintainer(&store, options);
+
+  RunSummary summary;
+  int step_index = 0;
+  int trace_every = std::max<int>(1, static_cast<int>(data.versions().size()) / 12);
+  for (const wl::VersionSpec& v : data.versions()) {
+    part::VersionArrival arrival{v.vid, v.parents, v.parent_weights, v.rids};
+    ORPHEUS_ASSIGN_OR_RETURN(part::OnlineStep step,
+                             maintainer.OnVersionCommitted(arrival));
+    if (step.cavg_best > 0) {
+      summary.max_divergence =
+          std::max(summary.max_divergence, step.cavg / step.cavg_best);
+    }
+    if (step.migrated) {
+      ++summary.migrations;
+      summary.total_migration_seconds += step.migration.seconds;
+      summary.rows_moved +=
+          step.migration.rows_inserted + step.migration.rows_deleted;
+      if (trace) {
+        std::cout << StrFormat(
+            "    migration at commit %4d: %s (%lld rows moved, %d rebuilt, "
+            "%d modified)\n",
+            step_index, FormatSeconds(step.migration.seconds).c_str(),
+            static_cast<long long>(step.migration.rows_inserted +
+                                   step.migration.rows_deleted),
+            step.migration.partitions_rebuilt,
+            step.migration.partitions_modified);
+      }
+    }
+    if (trace && step_index % trace_every == 0) {
+      std::cout << StrFormat("    commit %4d: Cavg=%8.0f  C*avg=%8.0f  S=%s\n",
+                             step_index, step.cavg, step.cavg_best,
+                             WithThousandsSep(step.storage).c_str());
+    }
+    ++step_index;
+  }
+  return summary;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+
+  wl::DatasetSpec spec;
+  spec.num_versions = static_cast<int>(500 * scale);
+  spec.num_branches = static_cast<int>(50 * scale);
+  spec.inserts_per_version = 50;
+  spec.num_attrs = 10;
+  wl::Dataset data = wl::Generate(spec);
+
+  std::cout << "=== Figures 14/15: online maintenance & migration ("
+            << data.versions().size() << " streamed commits, |R|="
+            << WithThousandsSep(data.num_records()) << ") ===\n";
+
+  for (double gamma_factor : {1.5, 2.0}) {
+    std::cout << "\n--- gamma = " << gamma_factor << " |R| ---\n";
+    std::cout << "  (a) checkout-cost trajectory:\n";
+    for (double mu : {1.5, 2.0}) {
+      std::cout << "  mu = " << mu << ":\n";
+      auto r = StreamVersions(data, gamma_factor, mu, /*intelligent=*/true,
+                              /*trace=*/true);
+      if (!r.ok()) {
+        std::cerr << "error: " << r.status().ToString() << "\n";
+        return 1;
+      }
+      std::cout << StrFormat(
+          "    -> %d migrations, max divergence %.2f (cap mu=%.2f)\n",
+          r.value().migrations, r.value().max_divergence, mu);
+    }
+
+    std::cout << "  (b) migration cost across mu (intelligent vs naive):\n";
+    TablePrinter table({"Engine", "mu", "Migrations", "Total time",
+                        "Avg time", "Rows moved"});
+    for (double mu : {1.05, 1.2, 1.5, 2.0, 2.5}) {
+      auto r = StreamVersions(data, gamma_factor, mu, /*intelligent=*/true,
+                              /*trace=*/false);
+      if (!r.ok()) {
+        std::cerr << "error: " << r.status().ToString() << "\n";
+        return 1;
+      }
+      const RunSummary& s = r.value();
+      table.AddRow({"intelligent", StrFormat("%.2f", mu),
+                    std::to_string(s.migrations),
+                    FormatSeconds(s.total_migration_seconds),
+                    FormatSeconds(s.total_migration_seconds /
+                                  std::max(1, s.migrations)),
+                    WithThousandsSep(s.rows_moved)});
+    }
+    {
+      auto r = StreamVersions(data, gamma_factor, 1.05, /*intelligent=*/false,
+                              /*trace=*/false);
+      if (!r.ok()) {
+        std::cerr << "error: " << r.status().ToString() << "\n";
+        return 1;
+      }
+      const RunSummary& s = r.value();
+      table.AddRow({"naive", "1.05", std::to_string(s.migrations),
+                    FormatSeconds(s.total_migration_seconds),
+                    FormatSeconds(s.total_migration_seconds /
+                                  std::max(1, s.migrations)),
+                    WithThousandsSep(s.rows_moved)});
+    }
+    table.Print();
+  }
+  std::cout << "\nExpected shape: smaller mu -> more but cheaper migrations;"
+               " intelligent moves ~1/10 the rows of naive at mu=1.05.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Scales: the paper's datasets range from 1M to 10M records on a
+// 16 GB workstation; these harnesses default to ~40x smaller inputs so
+// the whole suite runs in minutes on a small machine. Every binary
+// accepts --scale=<f> to grow the datasets toward paper size.
+
+#ifndef ORPHEUS_BENCH_BENCH_UTIL_H_
+#define ORPHEUS_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+#include "core/data_model.h"
+#include "relstore/database.h"
+#include "workload/generator.h"
+
+namespace orpheus::bench {
+
+// Standard dataset sizes (before --scale). Branches/inserts follow the
+// paper's Table 2 proportions: B = |V|/10, I such that |R| lands near
+// the target.
+wl::DatasetSpec SmallSpec(wl::WorkloadKind kind);   // ~9K records
+wl::DatasetSpec MediumSpec(wl::WorkloadKind kind);  // ~25K records
+wl::DatasetSpec LargeSpec(wl::WorkloadKind kind);   // ~60K records
+
+// Applies a linear scale factor to versions and inserts.
+wl::DatasetSpec Scaled(wl::DatasetSpec spec, double scale);
+
+// Loads every version of `data` into `model` through
+// DataModel::AddVersion, using the generator's exact rid lists (so no
+// record-resolution hashing is involved — this is dataset loading, not
+// the commit benchmark itself). Tables must not exist yet.
+Status PopulateModel(rel::Database* db, core::DataModel* model,
+                     const wl::Dataset& data);
+
+// Builds a staged table `table` containing version `v` of `data`
+// (schema rid + data attributes).
+Status MaterializeVersion(rel::Database* db, const wl::Dataset& data,
+                          const wl::VersionSpec& v, const std::string& table);
+
+// Deterministically samples `count` version ids.
+std::vector<core::VersionId> SampleVersions(const wl::Dataset& data, int count,
+                                            uint64_t seed);
+
+// Column-aligned console table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  void Print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "12.3s" / "45ms" style duration formatting.
+std::string FormatSeconds(double seconds);
+// "1.2 GB" / "34.5 MB" style size formatting.
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace orpheus::bench
+
+#endif  // ORPHEUS_BENCH_BENCH_UTIL_H_

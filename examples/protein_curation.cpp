@@ -1,0 +1,140 @@
+// Collaborative curation (the paper's CUR workload, §5.1): several
+// curators branch from a canonical protein-interaction dataset,
+// clean/extend their copies, and periodically merge back. The example
+// then runs the kinds of cross-version analytics the paper's intro
+// motivates: per-version aggregates, versions satisfying a predicate,
+// and "bulk delete" detection via diffs.
+//
+// Build & run:  ./build/examples/protein_curation
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/orpheus.h"
+
+using orpheus::Rng;
+using orpheus::core::Cvd;
+using orpheus::core::CvdOptions;
+using orpheus::core::OrpheusDB;
+using orpheus::core::VersionId;
+using orpheus::rel::Chunk;
+using orpheus::rel::DataType;
+using orpheus::rel::Schema;
+using orpheus::rel::Value;
+
+namespace {
+
+void Die(const std::string& what, const orpheus::Status& status) {
+  std::cerr << what << ": " << status.ToString() << "\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  OrpheusDB orpheus;
+  Rng rng(2026);
+
+  // Canonical dataset: 60 interactions with confidence scores.
+  Schema schema({{"protein1", DataType::kString},
+                 {"protein2", DataType::kString},
+                 {"confidence", DataType::kDouble}});
+  Chunk rows(schema);
+  for (int i = 0; i < 60; ++i) {
+    rows.AppendRow({Value::String("P" + std::to_string(i % 12)),
+                    Value::String("Q" + std::to_string(i)),
+                    Value::Double(0.5 + 0.5 * rng.NextDouble())});
+  }
+  CvdOptions options;
+  options.primary_key = {"protein1", "protein2"};
+  auto cvd_result = orpheus.InitCvd("string_db", rows, options, "canonical v1");
+  if (!cvd_result.ok()) Die("init", cvd_result.status());
+  Cvd* cvd = cvd_result.value();
+
+  // Three curators, each doing two rounds of branch -> edit -> merge.
+  std::vector<std::string> curators = {"alice", "bob", "carol"};
+  for (const std::string& user : curators) {
+    if (auto st = orpheus.CreateUser(user); !st.ok()) Die("user", st);
+  }
+
+  VersionId canonical = 1;
+  for (int round = 0; round < 2; ++round) {
+    std::vector<VersionId> contributions;
+    for (const std::string& user : curators) {
+      if (auto st = orpheus.Login(user); !st.ok()) Die("login", st);
+      std::string ws = user + "_ws" + std::to_string(round);
+      if (auto st = cvd->Checkout({canonical}, ws); !st.ok()) Die("checkout", st);
+
+      // Each curator raises confidence of their specialty proteins and
+      // contributes a few new interactions.
+      std::string specialty = "P" + std::to_string(rng.Uniform(12));
+      auto update = orpheus.db()->Execute(
+          "UPDATE " + ws + " SET confidence = confidence * 1.1 " +
+          "WHERE protein1 = '" + specialty + "' AND confidence < 0.9");
+      if (!update.ok()) Die("update", update.status());
+      for (int add = 0; add < 3; ++add) {
+        auto insert = orpheus.db()->Execute(
+            "INSERT INTO " + ws + " VALUES (0, '" + specialty + "', 'N" +
+            std::to_string(round * 100 + add + 10 * rng.Uniform(10)) + "', " +
+            std::to_string(0.6 + 0.04 * add) + ")");
+        if (!insert.ok()) Die("insert", insert.status());
+      }
+      auto commit = cvd->Commit(ws, user + " curation round " +
+                                        std::to_string(round));
+      if (!commit.ok()) Die("commit", commit.status());
+      contributions.push_back(commit.value());
+      std::cout << user << " committed v" << commit.value() << "\n";
+    }
+    // Merge all contributions back into a new canonical version
+    // (precedence order resolves conflicting confidence values).
+    std::string merge_ws = "merge_round" + std::to_string(round);
+    if (auto st = cvd->Checkout(contributions, merge_ws); !st.ok()) {
+      Die("merge checkout", st);
+    }
+    auto merged = cvd->Commit(merge_ws, "canonical merge round " +
+                                            std::to_string(round));
+    if (!merged.ok()) Die("merge commit", merged.status());
+    canonical = merged.value();
+    std::cout << "new canonical version: v" << canonical << " (merge of "
+              << contributions.size() << " branches)\n\n";
+  }
+
+  // --- The intro's motivating analytics --------------------------------
+
+  // "aggregate count of tuples with confidence > 0.9, for each version"
+  auto strong = orpheus.Run(
+      "SELECT vid, count(*) AS strong_interactions FROM CVD string_db "
+      "WHERE confidence > 0.9 GROUP BY vid ORDER BY vid");
+  if (!strong.ok()) Die("analytics", strong.status());
+  std::cout << "high-confidence interactions per version:\n"
+            << strong.value().ToString(30);
+
+  // "versions with a specific record"
+  auto which = orpheus.Run(
+      "SELECT DISTINCT vid FROM CVD string_db WHERE protein1 = 'P3' "
+      "ORDER BY vid");
+  if (!which.ok()) Die("analytics", which.status());
+  std::cout << "\nversions containing interactions of P3: "
+            << which.value().num_rows() << "\n";
+
+  // "versions with a bulk delete" — diff sizes along the graph.
+  std::cout << "\nrecords added/removed along each derivation edge:\n";
+  for (VersionId vid : cvd->graph().versions()) {
+    auto node = cvd->graph().GetNode(vid).value();
+    for (VersionId parent : node->parents) {
+      auto added = cvd->Diff(vid, parent);
+      auto removed = cvd->Diff(parent, vid);
+      if (!added.ok() || !removed.ok()) Die("diff", added.status());
+      std::cout << "  v" << parent << " -> v" << vid << ": +"
+                << added.value().num_rows() << " / -"
+                << removed.value().num_rows() << "\n";
+    }
+  }
+
+  std::cout << "\ntotal records stored once in the CVD: "
+            << cvd->total_records() << " (storage "
+            << cvd->StorageBytes() / 1024 << " KiB)\n";
+  return 0;
+}

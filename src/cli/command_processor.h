@@ -1,0 +1,57 @@
+// Command processor for the `orpheus` client: parses git-style
+// version-control commands (§2.2 of the paper) and dispatches them to
+// the OrpheusDB middleware. Shared between the interactive shell,
+// script mode, and the CLI tests.
+
+#ifndef ORPHEUS_CLI_COMMAND_PROCESSOR_H_
+#define ORPHEUS_CLI_COMMAND_PROCESSOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/orpheus.h"
+#include "partition/online.h"
+#include "partition/partition_store.h"
+
+namespace orpheus::cli {
+
+class CommandProcessor {
+ public:
+  CommandProcessor();
+
+  // Executes one command line; returns the text to display.
+  //
+  // Commands:
+  //   init <cvd> -f <file.csv> [-pk a,b]  [-model rlist|vlist|...]
+  //   checkout <cvd> -v <vid>[,<vid>...] (-t <table> | -f <file.csv>)
+  //   commit (-t <table> | -f <file.csv> -c <cvd>) -m <message>
+  //   diff <cvd> <v1> <v2>
+  //   run <sql>            (versioned SQL; VERSION n OF CVD c)
+  //   ls | drop <cvd> | graph <cvd>
+  //   optimize <cvd> [-gamma <factor>]
+  //   create_user <name> | config <name> | whoami
+  //   help | exit
+  Result<std::string> Execute(const std::string& line);
+
+  core::OrpheusDB* orpheus() { return &orpheus_; }
+  bool exited() const { return exited_; }
+
+ private:
+  Result<std::string> Init(const std::vector<std::string>& args);
+  Result<std::string> Checkout(const std::vector<std::string>& args);
+  Result<std::string> Commit(const std::vector<std::string>& args);
+  Result<std::string> DiffCmd(const std::vector<std::string>& args);
+  Result<std::string> Optimize(const std::vector<std::string>& args);
+
+  core::OrpheusDB orpheus_;
+  // One partition store per optimized CVD.
+  std::map<std::string, std::unique_ptr<part::PartitionStore>> stores_;
+  // csv file name -> staged table behind it (for -f flows).
+  std::map<std::string, std::pair<std::string, std::string>> csv_staging_;
+  bool exited_ = false;
+  int staging_counter_ = 0;
+};
+
+}  // namespace orpheus::cli
+
+#endif  // ORPHEUS_CLI_COMMAND_PROCESSOR_H_

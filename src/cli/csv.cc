@@ -1,0 +1,182 @@
+#include "cli/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace orpheus::cli {
+
+namespace {
+
+// Splits one CSV line, honoring double-quoted fields.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+bool LooksLikeInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' || s[0] == '+' ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+Result<rel::Chunk> ParseCsv(const std::string& text) {
+  std::vector<std::string> lines;
+  {
+    std::stringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!Trim(line).empty()) lines.push_back(line);
+    }
+  }
+  if (lines.empty()) return Status::InvalidArgument("empty CSV input");
+
+  std::vector<std::string> header = SplitCsvLine(lines[0]);
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(lines.size() - 1);
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::vector<std::string> fields = SplitCsvLine(lines[i]);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(i) + " has " +
+          std::to_string(fields.size()) + " fields, header has " +
+          std::to_string(header.size()));
+    }
+    rows.push_back(std::move(fields));
+  }
+
+  // Infer column types.
+  rel::Schema schema;
+  for (size_t c = 0; c < header.size(); ++c) {
+    bool all_int = true;
+    bool all_double = true;
+    bool any_value = false;
+    for (const auto& row : rows) {
+      const std::string& v = row[c];
+      if (v.empty()) continue;
+      any_value = true;
+      if (!LooksLikeInt(v)) all_int = false;
+      if (!LooksLikeDouble(v)) all_double = false;
+    }
+    rel::DataType type = rel::DataType::kString;
+    if (any_value && all_int) {
+      type = rel::DataType::kInt64;
+    } else if (any_value && all_double) {
+      type = rel::DataType::kDouble;
+    }
+    schema.AddColumn(std::string(Trim(header[c])), type);
+  }
+
+  rel::Chunk chunk(schema);
+  std::vector<rel::Value> values(header.size());
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      const std::string& v = row[c];
+      if (v.empty()) {
+        values[c] = rel::Value::Null();
+      } else {
+        switch (schema.column(static_cast<int>(c)).type) {
+          case rel::DataType::kInt64:
+            values[c] = rel::Value::Int(std::strtoll(v.c_str(), nullptr, 10));
+            break;
+          case rel::DataType::kDouble:
+            values[c] = rel::Value::Double(std::strtod(v.c_str(), nullptr));
+            break;
+          default:
+            values[c] = rel::Value::String(v);
+        }
+      }
+    }
+    chunk.AppendRow(values);
+  }
+  return chunk;
+}
+
+Result<rel::Chunk> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+std::string ToCsv(const rel::Chunk& chunk) {
+  std::string out;
+  for (int c = 0; c < chunk.num_columns(); ++c) {
+    if (c > 0) out += ",";
+    out += chunk.schema().column(c).name;
+  }
+  out += "\n";
+  for (size_t r = 0; r < chunk.num_rows(); ++r) {
+    for (int c = 0; c < chunk.num_columns(); ++c) {
+      if (c > 0) out += ",";
+      rel::Value v = chunk.Get(r, c);
+      if (v.is_null()) continue;
+      std::string field = v.ToString();
+      if (field.find(',') != std::string::npos ||
+          field.find('"') != std::string::npos) {
+        std::string quoted = "\"";
+        for (char ch : field) {
+          if (ch == '"') quoted += "\"\"";
+          else quoted.push_back(ch);
+        }
+        quoted += "\"";
+        field = std::move(quoted);
+      }
+      out += field;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const rel::Chunk& chunk) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write file: " + path);
+  out << ToCsv(chunk);
+  return Status::OK();
+}
+
+}  // namespace orpheus::cli

@@ -1,0 +1,30 @@
+// Minimal CSV support for the command client: `init -f file.csv` and
+// `checkout -f file.csv` flows from §2.2 of the paper.
+
+#ifndef ORPHEUS_CLI_CSV_H_
+#define ORPHEUS_CLI_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relstore/chunk.h"
+
+namespace orpheus::cli {
+
+// Parses CSV text (first line = header) into a chunk. Column types
+// are inferred: INT if every value parses as an integer, DOUBLE if
+// numeric, TEXT otherwise. Empty fields become NULL.
+Result<rel::Chunk> ParseCsv(const std::string& text);
+
+// Reads and parses a CSV file.
+Result<rel::Chunk> ReadCsvFile(const std::string& path);
+
+// Renders a chunk as CSV (header + rows).
+std::string ToCsv(const rel::Chunk& chunk);
+
+// Writes a chunk to a CSV file.
+Status WriteCsvFile(const std::string& path, const rel::Chunk& chunk);
+
+}  // namespace orpheus::cli
+
+#endif  // ORPHEUS_CLI_CSV_H_

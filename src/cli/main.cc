@@ -1,0 +1,60 @@
+// The `orpheus` command client (§2.2): an interactive shell / script
+// runner over the OrpheusDB middleware.
+//
+// Usage:
+//   orpheus                 interactive shell
+//   orpheus script <file>   execute commands from a file
+//   orpheus -c "<command>"  execute one command
+//
+// The backing database is in-memory and lives for the duration of the
+// process; `script` mode is the way to run multi-command workflows.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cli/command_processor.h"
+
+namespace {
+
+int RunLine(orpheus::cli::CommandProcessor* processor, const std::string& line) {
+  auto result = processor->Execute(line);
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  if (!result.value().empty()) std::cout << result.value() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  orpheus::cli::CommandProcessor processor;
+
+  if (argc >= 3 && std::string(argv[1]) == "-c") {
+    return RunLine(&processor, argv[2]);
+  }
+  if (argc >= 3 && std::string(argv[1]) == "script") {
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::cerr << "error: cannot open script " << argv[2] << "\n";
+      return 1;
+    }
+    std::string line;
+    int failures = 0;
+    while (std::getline(in, line) && !processor.exited()) {
+      failures += RunLine(&processor, line);
+    }
+    return failures > 0 ? 1 : 0;
+  }
+
+  std::cout << "OrpheusDB shell — type 'help' for commands, 'exit' to quit\n";
+  std::string line;
+  while (!processor.exited()) {
+    std::cout << "orpheus> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    RunLine(&processor, line);
+  }
+  return 0;
+}

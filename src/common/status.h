@@ -1,0 +1,142 @@
+// Status and Result<T>: exception-free error handling for OrpheusDB.
+//
+// Library code never throws; fallible operations return Status (or
+// Result<T> when they also produce a value), in the style of
+// RocksDB/Arrow. Status is cheap to copy in the OK case.
+
+#ifndef ORPHEUS_COMMON_STATUS_H_
+#define ORPHEUS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace orpheus {
+
+// Broad error categories. Keep this list short; the message carries the
+// detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // table/version/record/attribute does not exist
+  kAlreadyExists,     // name collision (table, CVD, user, ...)
+  kConstraintViolation,  // primary key / schema constraint broken
+  kParseError,        // SQL or command text failed to parse
+  kInternal,          // invariant violation inside the library
+  kNotSupported,      // recognized but unimplemented construct
+};
+
+// A success-or-error value. `ok()` is the common case; error statuses
+// carry a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<code>: <message>"; for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error. Modeled after arrow::Result: construct from T or
+// from a non-OK Status; `ValueOrDie()` asserts success (tests/benches),
+// production paths check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both
+  // work inside functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  // Returns the value, aborting (in debug builds) on error. Use in
+  // tests and benchmarks where an error is a bug.
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace orpheus
+
+// Propagates a non-OK Status from an expression, RocksDB-style.
+#define ORPHEUS_RETURN_NOT_OK(expr)             \
+  do {                                          \
+    ::orpheus::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+// Evaluates a Result<T> expression; on error returns its Status, else
+// binds the value to `lhs`.
+#define ORPHEUS_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                  \
+  if (!var.ok()) return var.status();                  \
+  lhs = std::move(var).value();
+
+#define ORPHEUS_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define ORPHEUS_ASSIGN_OR_RETURN_NAME(x, y) \
+  ORPHEUS_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define ORPHEUS_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  ORPHEUS_ASSIGN_OR_RETURN_IMPL(                                         \
+      ORPHEUS_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+#endif  // ORPHEUS_COMMON_STATUS_H_

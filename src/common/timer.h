@@ -1,0 +1,30 @@
+// Wall-clock timing helper used by benchmark harnesses.
+
+#ifndef ORPHEUS_COMMON_TIMER_H_
+#define ORPHEUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace orpheus {
+
+// Measures elapsed wall time from construction (or the last Restart()).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_TIMER_H_

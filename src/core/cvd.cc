@@ -1,0 +1,501 @@
+#include "core/cvd.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace orpheus::core {
+
+namespace {
+
+// Widening lattice for single-pool schema evolution: INT -> DOUBLE ->
+// TEXT (§3.3, after Jain et al.).
+int TypeRank(rel::DataType type) {
+  switch (type) {
+    case rel::DataType::kBool:
+    case rel::DataType::kInt64:
+      return 0;
+    case rel::DataType::kDouble:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+rel::DataType WidenType(rel::DataType a, rel::DataType b) {
+  return TypeRank(a) >= TypeRank(b) ? a : b;
+}
+
+std::string EscapeSqlString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  return out;
+}
+
+std::string IntArrayLiteral(const std::vector<int64_t>& values) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (int64_t v : values) parts.push_back(std::to_string(v));
+  return "ARRAY[" + Join(parts, ", ") + "]";
+}
+
+}  // namespace
+
+Cvd::Cvd(rel::Database* db, std::string name, rel::Schema data_schema,
+         CvdOptions options)
+    : db_(db),
+      name_(std::move(name)),
+      primary_key_(std::move(options.primary_key)),
+      model_(MakeDataModel(options.model, db, name_, std::move(data_schema))) {}
+
+Result<std::unique_ptr<Cvd>> Cvd::Create(rel::Database* db,
+                                         const std::string& name,
+                                         rel::Schema data_schema,
+                                         CvdOptions options) {
+  // Validate the primary key against the schema up front.
+  for (const std::string& pk : options.primary_key) {
+    if (data_schema.FindColumn(pk) < 0) {
+      return Status::InvalidArgument("primary key attribute not in schema: " + pk);
+    }
+  }
+  if (data_schema.FindColumn("rid") >= 0) {
+    return Status::InvalidArgument("'rid' is reserved for internal record ids");
+  }
+  std::unique_ptr<Cvd> cvd(new Cvd(db, name, data_schema, std::move(options)));
+  ORPHEUS_RETURN_NOT_OK(cvd->model_->Init());
+
+  // Metadata table (Figure 4a).
+  rel::Schema meta;
+  meta.AddColumn("vid", rel::DataType::kInt64);
+  meta.AddColumn("parents", rel::DataType::kIntArray);
+  meta.AddColumn("checkout_t", rel::DataType::kInt64);
+  meta.AddColumn("commit_t", rel::DataType::kInt64);
+  meta.AddColumn("msg", rel::DataType::kString);
+  meta.AddColumn("attributes", rel::DataType::kIntArray);
+  ORPHEUS_RETURN_NOT_OK(db->CreateTable(cvd->MetadataTableName(), meta, {"vid"}));
+
+  // Attribute table (Figure 5b).
+  rel::Schema attr;
+  attr.AddColumn("attr_id", rel::DataType::kInt64);
+  attr.AddColumn("attr_name", rel::DataType::kString);
+  attr.AddColumn("data_type", rel::DataType::kString);
+  ORPHEUS_RETURN_NOT_OK(
+      db->CreateTable(cvd->AttributeTableName(), attr, {"attr_id"}));
+
+  for (const rel::ColumnDef& def : data_schema.columns()) {
+    cvd->AddAttributeEntry(def.name, def.type);
+  }
+  return cvd;
+}
+
+int64_t Cvd::AddAttributeEntry(const std::string& name, rel::DataType type) {
+  int64_t id = static_cast<int64_t>(attributes_.size()) + 1;
+  attributes_.push_back({id, name, type});
+  live_attrs_[name] = id;
+  // Mirror into the attribute table (best-effort bookkeeping).
+  (void)db_->Execute("INSERT INTO " + AttributeTableName() + " VALUES (" +
+                     std::to_string(id) + ", '" + EscapeSqlString(name) + "', '" +
+                     rel::DataTypeName(type) + "')");
+  return id;
+}
+
+Status Cvd::AppendMetadataRow(VersionId vid, const std::vector<VersionId>& parents,
+                              int64_t checkout_time, int64_t commit_time,
+                              const std::string& message,
+                              const std::vector<int64_t>& attr_ids) {
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk unused,
+      db_->Execute("INSERT INTO " + MetadataTableName() + " VALUES (" +
+                   std::to_string(vid) + ", " + IntArrayLiteral(parents) + ", " +
+                   std::to_string(checkout_time) + ", " +
+                   std::to_string(commit_time) + ", '" + EscapeSqlString(message) +
+                   "', " + IntArrayLiteral(attr_ids) + ")"));
+  (void)unused;
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> Cvd::VersionAttributes(VersionId vid) const {
+  auto it = version_attrs_.find(vid);
+  if (it == version_attrs_.end()) {
+    return Status::NotFound("version not found: " + std::to_string(vid));
+  }
+  return it->second;
+}
+
+Result<VersionId> Cvd::InitVersion(const rel::Chunk& rows,
+                                   const std::string& message) {
+  if (next_vid_ != 1) {
+    return Status::InvalidArgument("CVD already initialized: " + name_);
+  }
+  const rel::Schema& data_schema = model_->data_schema();
+  if (!rows.schema().Equals(data_schema)) {
+    return Status::InvalidArgument("init rows schema " + rows.schema().ToString() +
+                                   " does not match CVD schema " +
+                                   data_schema.ToString());
+  }
+  // Primary-key uniqueness within the version.
+  if (!primary_key_.empty()) {
+    std::vector<int> pk_cols;
+    for (const std::string& pk : primary_key_) {
+      pk_cols.push_back(rows.schema().FindColumn(pk));
+    }
+    std::unordered_set<uint64_t> seen;
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      if (!seen.insert(HashRecord(rows, r, pk_cols)).second) {
+        return Status::ConstraintViolation(
+            "duplicate primary key in initial version");
+      }
+    }
+  }
+
+  VersionId vid = next_vid_++;
+  std::vector<RecordId> rids(rows.num_rows());
+  std::iota(rids.begin(), rids.end(), next_rid_);
+  next_rid_ += static_cast<RecordId>(rows.num_rows());
+
+  // Stage rid + data as the model's record schema.
+  rel::Schema record_schema;
+  record_schema.AddColumn("rid", rel::DataType::kInt64);
+  for (const rel::ColumnDef& def : data_schema.columns()) {
+    record_schema.AddColumn(def.name, def.type);
+  }
+  rel::Chunk with_rid(record_schema);
+  for (RecordId rid : rids) with_rid.mutable_column(0).AppendInt(rid);
+  std::vector<uint32_t> all(rows.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  for (int c = 0; c < rows.num_columns(); ++c) {
+    with_rid.mutable_column(c + 1).Gather(rows.column(c), all);
+  }
+
+  const std::string stage = name_ + "_init_stage";
+  ORPHEUS_RETURN_NOT_OK(db_->DropTable(stage, /*if_exists=*/true));
+  rel::Chunk for_model = with_rid;  // AddVersion consumes the staged table
+  ORPHEUS_RETURN_NOT_OK(db_->AdoptTable(stage, std::move(with_rid)));
+  Status st = model_->AddVersion(vid, stage, rids, for_model, /*primary_parent=*/-1);
+  ORPHEUS_RETURN_NOT_OK(db_->DropTable(stage));
+  ORPHEUS_RETURN_NOT_OK(st);
+
+  ORPHEUS_RETURN_NOT_OK(graph_.AddVersion(vid, {}, {}, static_cast<int64_t>(rids.size())));
+  std::vector<int64_t> attr_ids;
+  for (const rel::ColumnDef& def : data_schema.columns()) {
+    attr_ids.push_back(live_attrs_.at(def.name));
+  }
+  version_attrs_[vid] = attr_ids;
+  int64_t now = ++logical_clock_;
+  ORPHEUS_RETURN_NOT_OK(AppendMetadataRow(vid, {}, now, now, message, attr_ids));
+  return vid;
+}
+
+Status Cvd::CheckoutSingle(VersionId vid, const std::string& table_name) {
+  if (!graph_.Contains(vid)) {
+    return Status::NotFound("version not found: " + std::to_string(vid));
+  }
+  // Does this version carry all live attributes?
+  const rel::Schema& schema = model_->data_schema();
+  std::vector<std::string> attr_names;
+  for (int64_t attr_id : version_attrs_.at(vid)) {
+    attr_names.push_back(attributes_[static_cast<size_t>(attr_id - 1)].name);
+  }
+  bool full = attr_names.size() == static_cast<size_t>(schema.num_columns());
+
+  const std::string target = full ? table_name : table_name + "_fullattrs";
+  if (checkout_override_ != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(checkout_override_(vid, target));
+  } else {
+    ORPHEUS_RETURN_NOT_OK(model_->CheckoutVersion(vid, target));
+  }
+  if (!full) {
+    // Project down to the attributes this version actually has.
+    std::vector<std::string> cols = {"rid"};
+    cols.insert(cols.end(), attr_names.begin(), attr_names.end());
+    ORPHEUS_ASSIGN_OR_RETURN(
+        rel::Chunk unused,
+        db_->Execute("SELECT " + Join(cols, ", ") + " INTO " + table_name +
+                     " FROM " + target));
+    (void)unused;
+    ORPHEUS_RETURN_NOT_OK(db_->DropTable(target));
+  }
+  return Status::OK();
+}
+
+Status Cvd::Checkout(const std::vector<VersionId>& vids,
+                     const std::string& table_name) {
+  if (vids.empty()) return Status::InvalidArgument("no versions given");
+  if (db_->HasTable(table_name)) {
+    return Status::AlreadyExists("table already exists: " + table_name);
+  }
+  for (VersionId vid : vids) {
+    if (!graph_.Contains(vid)) {
+      return Status::NotFound("version not found: " + std::to_string(vid));
+    }
+  }
+
+  if (vids.size() == 1) {
+    ORPHEUS_RETURN_NOT_OK(CheckoutSingle(vids[0], table_name));
+  } else {
+    // Merging checkout: precedence order with primary-key conflict
+    // resolution (§2.2). Without a primary key, rid identity dedupes.
+    rel::Chunk merged;
+    bool first = true;
+    std::vector<int> pk_cols;
+    std::unordered_set<uint64_t> seen_keys;
+    std::unordered_set<RecordId> seen_rids;
+    for (VersionId vid : vids) {
+      ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk rows, model_->VersionRows(vid));
+      if (first) {
+        merged = rel::Chunk(rows.schema());
+        for (const std::string& pk : primary_key_) {
+          pk_cols.push_back(rows.schema().FindColumn(pk));
+        }
+        first = false;
+      }
+      int rid_col = rows.schema().FindColumn("rid");
+      std::vector<uint32_t> keep;
+      for (size_t r = 0; r < rows.num_rows(); ++r) {
+        if (!primary_key_.empty()) {
+          if (!seen_keys.insert(HashRecord(rows, r, pk_cols)).second) continue;
+        } else {
+          if (!seen_rids.insert(rows.column(rid_col).ints()[r]).second) continue;
+        }
+        keep.push_back(static_cast<uint32_t>(r));
+      }
+      merged.GatherFrom(rows, keep);
+    }
+    ORPHEUS_RETURN_NOT_OK(db_->AdoptTable(table_name, std::move(merged)));
+  }
+
+  StagedTableInfo info;
+  info.table_name = table_name;
+  info.parents = vids;
+  info.checkout_time = ++logical_clock_;
+  staged_[table_name] = std::move(info);
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> Cvd::ReconcileSchema(const rel::Schema& staged_schema) {
+  std::vector<int64_t> attr_ids;
+  for (const rel::ColumnDef& def : staged_schema.columns()) {
+    auto it = live_attrs_.find(def.name);
+    if (it == live_attrs_.end()) {
+      // New attribute: extend the CVD, NULL-backfilling old records.
+      ORPHEUS_RETURN_NOT_OK(model_->AddDataColumn(def.name, def.type));
+      attr_ids.push_back(AddAttributeEntry(def.name, def.type));
+      continue;
+    }
+    const AttributeEntry& live = attributes_[static_cast<size_t>(it->second - 1)];
+    rel::DataType widened = WidenType(live.type, def.type);
+    if (widened != live.type) {
+      // Type change: widen the pool column, register a new attribute
+      // entry (single-pool method).
+      ORPHEUS_RETURN_NOT_OK(model_->WidenDataColumn(def.name, widened));
+      attr_ids.push_back(AddAttributeEntry(def.name, widened));
+    } else {
+      attr_ids.push_back(it->second);
+    }
+  }
+  return attr_ids;
+}
+
+Result<VersionId> Cvd::Commit(const std::string& table_name,
+                              const std::string& message) {
+  auto staged_it = staged_.find(table_name);
+  if (staged_it == staged_.end()) {
+    return Status::NotFound("table was not checked out from CVD " + name_ + ": " +
+                            table_name);
+  }
+  const std::vector<VersionId> parents = staged_it->second.parents;
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Table * staged_table, db_->GetTable(table_name));
+
+  // --- Schema reconciliation (may ALTER the pool tables) -------------
+  rel::Schema staged_data_schema;
+  for (const rel::ColumnDef& def : staged_table->schema().columns()) {
+    if (def.name != "rid") staged_data_schema.AddColumn(def.name, def.type);
+  }
+  std::vector<int64_t> attr_ids;
+  {
+    auto r = ReconcileSchema(staged_data_schema);
+    ORPHEUS_RETURN_NOT_OK(r.status());
+    attr_ids = std::move(r).value();
+  }
+
+  // --- Align staged rows to the (possibly evolved) record schema -----
+  const rel::Schema& data_schema = model_->data_schema();
+  rel::Schema record_schema;
+  record_schema.AddColumn("rid", rel::DataType::kInt64);
+  for (const rel::ColumnDef& def : data_schema.columns()) {
+    record_schema.AddColumn(def.name, def.type);
+  }
+  const rel::Chunk& staged_rows = staged_table->data();
+  size_t n = staged_rows.num_rows();
+  rel::Chunk aligned(record_schema);
+  std::vector<uint32_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  for (int c = 0; c < data_schema.num_columns(); ++c) {
+    const rel::ColumnDef& def = data_schema.column(c);
+    int src = staged_rows.schema().FindColumn(def.name);
+    rel::Column& dst = aligned.mutable_column(c + 1);
+    if (src < 0) {
+      dst.AppendNulls(n);
+    } else if (staged_rows.column(src).type() == def.type) {
+      dst.Gather(staged_rows.column(src), all);
+    } else {
+      // Widen staged values (e.g. INT column committed into a DOUBLE
+      // pool attribute).
+      rel::Column tmp(staged_rows.column(src).type());
+      tmp.Gather(staged_rows.column(src), all);
+      ORPHEUS_RETURN_NOT_OK(tmp.ConvertTo(def.type));
+      for (size_t r = 0; r < n; ++r) dst.AppendFrom(tmp, r);
+    }
+  }
+
+  // --- Primary-key check within the committed version ----------------
+  std::vector<int> data_cols(static_cast<size_t>(data_schema.num_columns()));
+  std::iota(data_cols.begin(), data_cols.end(), 1);
+  if (!primary_key_.empty()) {
+    std::vector<int> pk_cols;
+    for (const std::string& pk : primary_key_) {
+      pk_cols.push_back(record_schema.FindColumn(pk));
+    }
+    std::unordered_set<uint64_t> seen;
+    for (size_t r = 0; r < n; ++r) {
+      if (!seen.insert(HashRecord(aligned, r, pk_cols)).second) {
+        return Status::ConstraintViolation(
+            "duplicate primary key in committed table " + table_name);
+      }
+    }
+  }
+
+  // --- Record resolution (the no-cross-version-diff rule) -----------
+  // Build content-hash -> rid over the parents' records only.
+  struct ParentRef {
+    size_t parent_index;
+    size_t row;
+    RecordId rid;
+  };
+  std::unordered_map<uint64_t, std::vector<ParentRef>> parent_hash;
+  std::vector<rel::Chunk> parent_rows;
+  std::vector<std::unordered_set<RecordId>> parent_rid_sets;
+  parent_rows.reserve(parents.size());
+  for (size_t p = 0; p < parents.size(); ++p) {
+    ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk rows, model_->VersionRows(parents[p]));
+    int rid_col = rows.schema().FindColumn("rid");
+    std::unordered_set<RecordId> rid_set;
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      RecordId rid = rows.column(rid_col).ints()[r];
+      rid_set.insert(rid);
+      parent_hash[HashRecord(rows, r, data_cols)].push_back({p, r, rid});
+    }
+    parent_rid_sets.push_back(std::move(rid_set));
+    parent_rows.push_back(std::move(rows));
+  }
+
+  std::vector<RecordId> rids(n);
+  std::vector<uint32_t> new_rows;
+  for (size_t r = 0; r < n; ++r) {
+    uint64_t h = HashRecord(aligned, r, data_cols);
+    RecordId found = -1;
+    auto hit = parent_hash.find(h);
+    if (hit != parent_hash.end()) {
+      for (const ParentRef& ref : hit->second) {
+        if (RecordsEqual(aligned, r, data_cols, parent_rows[ref.parent_index],
+                         ref.row, data_cols)) {
+          found = ref.rid;
+          break;
+        }
+      }
+    }
+    if (found >= 0) {
+      rids[r] = found;
+    } else {
+      rids[r] = next_rid_++;
+      new_rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  // Write resolved rids back into the staged table so the Table 1
+  // commit SQL — which reads `SELECT rid FROM T'` — sees them.
+  {
+    rel::Chunk& staged_mut = staged_table->mutable_chunk();
+    int rid_col = staged_mut.schema().FindColumn("rid");
+    if (rid_col < 0) {
+      return Status::Internal("staged table lost its rid column");
+    }
+    for (size_t r = 0; r < n; ++r) {
+      staged_mut.mutable_column(rid_col).Set(r, rel::Value::Int(rids[r]));
+    }
+  }
+  // Fill the aligned chunk's (still empty) rid column and slice out
+  // the new records.
+  for (size_t r = 0; r < n; ++r) {
+    aligned.mutable_column(0).AppendInt(rids[r]);
+  }
+  rel::Chunk new_records(record_schema);
+  new_records.GatherFrom(aligned, new_rows);
+
+  // --- Edge weights and primary parent --------------------------------
+  std::vector<int64_t> weights(parents.size(), 0);
+  for (size_t p = 0; p < parents.size(); ++p) {
+    for (RecordId rid : rids) {
+      if (parent_rid_sets[p].count(rid) > 0) ++weights[p];
+    }
+  }
+  VersionId primary_parent = -1;
+  if (!parents.empty()) {
+    size_t best = 0;
+    for (size_t p = 1; p < parents.size(); ++p) {
+      if (weights[p] > weights[best]) best = p;
+    }
+    primary_parent = parents[best];
+  }
+
+  // --- Persist ----------------------------------------------------------
+  VersionId vid = next_vid_++;
+  ORPHEUS_RETURN_NOT_OK(
+      model_->AddVersion(vid, table_name, rids, new_records, primary_parent));
+  ORPHEUS_RETURN_NOT_OK(
+      graph_.AddVersion(vid, parents, weights, static_cast<int64_t>(n)));
+  version_attrs_[vid] = attr_ids;
+  ORPHEUS_RETURN_NOT_OK(AppendMetadataRow(vid, parents,
+                                          staged_it->second.checkout_time,
+                                          ++logical_clock_, message, attr_ids));
+
+  // Commit removes the table from the staging area (§2.3).
+  ORPHEUS_RETURN_NOT_OK(db_->DropTable(table_name));
+  staged_.erase(staged_it);
+  return vid;
+}
+
+Result<rel::Chunk> Cvd::Diff(VersionId a, VersionId b) {
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk rows_a, model_->VersionRows(a));
+  ORPHEUS_ASSIGN_OR_RETURN(std::vector<RecordId> rids_b, model_->VersionRecords(b));
+  std::unordered_set<RecordId> b_set(rids_b.begin(), rids_b.end());
+  int rid_col = rows_a.schema().FindColumn("rid");
+  std::vector<uint32_t> keep;
+  for (size_t r = 0; r < rows_a.num_rows(); ++r) {
+    if (b_set.count(rows_a.column(rid_col).ints()[r]) == 0) {
+      keep.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  rel::Chunk out(rows_a.schema());
+  out.GatherFrom(rows_a, keep);
+  return out;
+}
+
+Status Cvd::DiscardStaged(const std::string& table_name) {
+  auto it = staged_.find(table_name);
+  if (it == staged_.end()) {
+    return Status::NotFound("not a staged table: " + table_name);
+  }
+  ORPHEUS_RETURN_NOT_OK(db_->DropTable(table_name, /*if_exists=*/true));
+  staged_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace orpheus::core

@@ -1,0 +1,560 @@
+#include "core/data_model.h"
+
+#include <numeric>
+#include <set>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace orpheus::core {
+
+namespace {
+
+// Extracts an INT column named `name` from a chunk.
+Result<std::vector<int64_t>> IntColumn(const rel::Chunk& chunk,
+                                       const std::string& name) {
+  ORPHEUS_ASSIGN_OR_RETURN(int col, chunk.schema().Resolve(name));
+  if (chunk.column(col).type() != rel::DataType::kInt64) {
+    return Status::Internal("column " + name + " is not INT");
+  }
+  return chunk.column(col).ints();
+}
+
+// Bulk-appends `rows` (schema: rid + data) into `table`, whose leading
+// columns must match. This is the middleware's COPY-equivalent bulk
+// path; per-row INSERT statements would only add parse overhead.
+Status BulkAppend(rel::Table* table, const rel::Chunk& rows) {
+  if (rows.num_rows() == 0) return Status::OK();
+  std::vector<uint32_t> all(rows.num_rows());
+  std::iota(all.begin(), all.end(), 0);
+  rel::Chunk& dst = table->mutable_chunk();
+  for (int c = 0; c < rows.num_columns(); ++c) {
+    dst.mutable_column(c).Gather(rows.column(c), all);
+  }
+  // Backfill any trailing columns (e.g. vlist) — caller fills them.
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* DataModelKindName(DataModelKind kind) {
+  switch (kind) {
+    case DataModelKind::kTablePerVersion:
+      return "a-table-per-version";
+    case DataModelKind::kCombinedTable:
+      return "combined-table";
+    case DataModelKind::kSplitByVlist:
+      return "split-by-vlist";
+    case DataModelKind::kSplitByRlist:
+      return "split-by-rlist";
+    case DataModelKind::kDeltaBased:
+      return "delta-based";
+  }
+  return "unknown";
+}
+
+Result<DataModelKind> DataModelKindFromName(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "a-table-per-version" || lower == "tpv") {
+    return DataModelKind::kTablePerVersion;
+  }
+  if (lower == "combined-table" || lower == "combined") {
+    return DataModelKind::kCombinedTable;
+  }
+  if (lower == "split-by-vlist" || lower == "vlist") {
+    return DataModelKind::kSplitByVlist;
+  }
+  if (lower == "split-by-rlist" || lower == "rlist") {
+    return DataModelKind::kSplitByRlist;
+  }
+  if (lower == "delta-based" || lower == "delta") {
+    return DataModelKind::kDeltaBased;
+  }
+  return Status::InvalidArgument("unknown data model: " + name);
+}
+
+DataModel::DataModel(rel::Database* db, std::string cvd_name,
+                     rel::Schema data_schema)
+    : db_(db), cvd_name_(std::move(cvd_name)), data_schema_(std::move(data_schema)) {}
+
+rel::Schema DataModel::RecordSchema() const {
+  rel::Schema schema;
+  schema.AddColumn("rid", rel::DataType::kInt64);
+  for (const rel::ColumnDef& def : data_schema_.columns()) {
+    schema.AddColumn(def.name, def.type);
+  }
+  return schema;
+}
+
+std::string DataModel::RecordColumnList() const {
+  std::vector<std::string> cols = {"rid"};
+  for (const rel::ColumnDef& def : data_schema_.columns()) {
+    cols.push_back(def.name);
+  }
+  return Join(cols, ", ");
+}
+
+int64_t DataModel::TableBytes(const std::string& table) const {
+  auto result = db_->GetTable(table);
+  if (!result.ok()) return 0;
+  return result.value()->ByteSize() + result.value()->IndexByteSize();
+}
+
+Result<rel::Chunk> DataModel::VersionRows(VersionId vid) {
+  const std::string tmp = cvd_name_ + "_vrows_tmp";
+  ORPHEUS_RETURN_NOT_OK(db_->DropTable(tmp, /*if_exists=*/true));
+  ORPHEUS_RETURN_NOT_OK(CheckoutVersion(vid, tmp));
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Table * table, db_->GetTable(tmp));
+  rel::Chunk rows = std::move(table->mutable_chunk());
+  ORPHEUS_RETURN_NOT_OK(db_->DropTable(tmp));
+  return rows;
+}
+
+Status DataModel::AddDataColumn(const std::string& name, rel::DataType type) {
+  (void)name;
+  (void)type;
+  return Status::NotSupported(std::string(DataModelKindName(kind())) +
+                              " does not support schema evolution");
+}
+
+Status DataModel::WidenDataColumn(const std::string& name, rel::DataType type) {
+  (void)name;
+  (void)type;
+  return Status::NotSupported(std::string(DataModelKindName(kind())) +
+                              " does not support schema evolution");
+}
+
+std::unique_ptr<DataModel> MakeDataModel(DataModelKind kind, rel::Database* db,
+                                         const std::string& cvd_name,
+                                         rel::Schema data_schema) {
+  switch (kind) {
+    case DataModelKind::kTablePerVersion:
+      return std::make_unique<TablePerVersionModel>(db, cvd_name,
+                                                    std::move(data_schema));
+    case DataModelKind::kCombinedTable:
+      return std::make_unique<CombinedTableModel>(db, cvd_name,
+                                                  std::move(data_schema));
+    case DataModelKind::kSplitByVlist:
+      return std::make_unique<SplitByVlistModel>(db, cvd_name,
+                                                 std::move(data_schema));
+    case DataModelKind::kSplitByRlist:
+      return std::make_unique<SplitByRlistModel>(db, cvd_name,
+                                                 std::move(data_schema));
+    case DataModelKind::kDeltaBased:
+      return std::make_unique<DeltaBasedModel>(db, cvd_name,
+                                               std::move(data_schema));
+  }
+  return nullptr;
+}
+
+// --- A-table-per-version ----------------------------------------------
+
+std::string TablePerVersionModel::VersionTable(VersionId vid) const {
+  return cvd_name_ + "_v" + std::to_string(vid);
+}
+
+Status TablePerVersionModel::Init() { return Status::OK(); }
+
+Status TablePerVersionModel::AddVersion(VersionId vid,
+                                        const std::string& staged_table,
+                                        const std::vector<RecordId>& rids,
+                                        const rel::Chunk& new_records,
+                                        VersionId primary_parent) {
+  (void)rids;
+  (void)new_records;
+  (void)primary_parent;
+  // Copy the staged table wholesale; that is the point of this model.
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk unused,
+      db_->Execute("SELECT " + RecordColumnList() + " INTO " + VersionTable(vid) +
+                   " FROM " + staged_table));
+  (void)unused;
+  versions_.push_back(vid);
+  return Status::OK();
+}
+
+Status TablePerVersionModel::CheckoutVersion(VersionId vid,
+                                             const std::string& table_name) {
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk unused,
+      db_->Execute("SELECT " + RecordColumnList() + " INTO " + table_name +
+                   " FROM " + VersionTable(vid)));
+  (void)unused;
+  return Status::OK();
+}
+
+Result<std::vector<RecordId>> TablePerVersionModel::VersionRecords(VersionId vid) {
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk out,
+                           db_->Execute("SELECT rid FROM " + VersionTable(vid)));
+  return IntColumn(out, "rid");
+}
+
+int64_t TablePerVersionModel::StorageBytes() const {
+  int64_t bytes = 0;
+  for (VersionId vid : versions_) bytes += TableBytes(VersionTable(vid));
+  return bytes;
+}
+
+// --- Combined table ----------------------------------------------------
+
+Status CombinedTableModel::Init() {
+  rel::Schema schema = RecordSchema();
+  schema.AddColumn("vlist", rel::DataType::kIntArray);
+  return db_->CreateTable(CombinedTable(), std::move(schema), {"rid"});
+}
+
+Status CombinedTableModel::AddVersion(VersionId vid,
+                                      const std::string& staged_table,
+                                      const std::vector<RecordId>& rids,
+                                      const rel::Chunk& new_records,
+                                      VersionId primary_parent) {
+  (void)rids;
+  (void)primary_parent;
+  // Table 1 commit: append vid to vlist for every record of the new
+  // version already present in the CVD. New records are not yet in the
+  // combined table, so the IN-list matches exactly the reused ones.
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk unused,
+      db_->Execute("UPDATE " + CombinedTable() + " SET vlist = vlist + " +
+                   std::to_string(vid) + " WHERE rid IN (SELECT rid FROM " +
+                   staged_table + ")"));
+  (void)unused;
+  // Bulk-insert the new records with a singleton vlist.
+  if (new_records.num_rows() > 0) {
+    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * table, db_->GetTable(CombinedTable()));
+    ORPHEUS_RETURN_NOT_OK(BulkAppend(table, new_records));
+    rel::Column& vlist =
+        table->mutable_chunk().mutable_column(table->schema().FindColumn("vlist"));
+    for (size_t i = 0; i < new_records.num_rows(); ++i) {
+      vlist.AppendArray({vid});
+    }
+  }
+  return Status::OK();
+}
+
+Status CombinedTableModel::CheckoutVersion(VersionId vid,
+                                           const std::string& table_name) {
+  // Table 1 checkout: array-containment scan over the combined table.
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk unused,
+      db_->Execute("SELECT " + RecordColumnList() + " INTO " + table_name +
+                   " FROM " + CombinedTable() + " WHERE ARRAY[" +
+                   std::to_string(vid) + "] <@ vlist"));
+  (void)unused;
+  return Status::OK();
+}
+
+Result<std::vector<RecordId>> CombinedTableModel::VersionRecords(VersionId vid) {
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk out,
+      db_->Execute("SELECT rid FROM " + CombinedTable() + " WHERE ARRAY[" +
+                   std::to_string(vid) + "] <@ vlist"));
+  return IntColumn(out, "rid");
+}
+
+int64_t CombinedTableModel::StorageBytes() const {
+  return TableBytes(CombinedTable());
+}
+
+// --- Split-by-vlist ------------------------------------------------------
+
+Status SplitByVlistModel::Init() {
+  ORPHEUS_RETURN_NOT_OK(db_->CreateTable(DataTable(), RecordSchema(), {"rid"}));
+  rel::Schema versioning;
+  versioning.AddColumn("rid", rel::DataType::kInt64);
+  versioning.AddColumn("vlist", rel::DataType::kIntArray);
+  return db_->CreateTable(VersioningTable(), std::move(versioning), {"rid"});
+}
+
+Status SplitByVlistModel::AddVersion(VersionId vid,
+                                     const std::string& staged_table,
+                                     const std::vector<RecordId>& rids,
+                                     const rel::Chunk& new_records,
+                                     VersionId primary_parent) {
+  (void)primary_parent;
+  (void)rids;
+  // Table 1 commit: same array-append as combined-table, but on the
+  // (narrow) versioning table.
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk unused,
+      db_->Execute("UPDATE " + VersioningTable() + " SET vlist = vlist + " +
+                   std::to_string(vid) + " WHERE rid IN (SELECT rid FROM " +
+                   staged_table + ")"));
+  (void)unused;
+  if (new_records.num_rows() > 0) {
+    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * data, db_->GetTable(DataTable()));
+    ORPHEUS_RETURN_NOT_OK(BulkAppend(data, new_records));
+    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * versioning,
+                             db_->GetTable(VersioningTable()));
+    ORPHEUS_ASSIGN_OR_RETURN(std::vector<int64_t> new_rids,
+                             IntColumn(new_records, "rid"));
+    rel::Chunk& vc = versioning->mutable_chunk();
+    for (int64_t rid : new_rids) {
+      vc.mutable_column(0).AppendInt(rid);
+      vc.mutable_column(1).AppendArray({vid});
+    }
+  }
+  return Status::OK();
+}
+
+Status SplitByVlistModel::CheckoutVersion(VersionId vid,
+                                          const std::string& table_name) {
+  // Table 1 checkout: select qualifying rids, then join the data table.
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk unused,
+      db_->Execute("SELECT d.* INTO " + table_name + " FROM " + DataTable() +
+                   " d, (SELECT rid AS rid_tmp FROM " + VersioningTable() +
+                   " WHERE ARRAY[" + std::to_string(vid) +
+                   "] <@ vlist) AS tmp WHERE d.rid = tmp.rid_tmp"));
+  (void)unused;
+  return Status::OK();
+}
+
+Result<std::vector<RecordId>> SplitByVlistModel::VersionRecords(VersionId vid) {
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk out,
+      db_->Execute("SELECT rid FROM " + VersioningTable() + " WHERE ARRAY[" +
+                   std::to_string(vid) + "] <@ vlist"));
+  return IntColumn(out, "rid");
+}
+
+int64_t SplitByVlistModel::StorageBytes() const {
+  return TableBytes(DataTable()) + TableBytes(VersioningTable());
+}
+
+Status SplitByVlistModel::AddDataColumn(const std::string& name,
+                                        rel::DataType type) {
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Table * data, db_->GetTable(DataTable()));
+  ORPHEUS_RETURN_NOT_OK(data->AddColumn(name, type));
+  data_schema_.AddColumn(name, type);
+  return Status::OK();
+}
+
+Status SplitByVlistModel::WidenDataColumn(const std::string& name,
+                                          rel::DataType type) {
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Table * data, db_->GetTable(DataTable()));
+  ORPHEUS_RETURN_NOT_OK(data->AlterColumnType(name, type));
+  rel::Schema updated;
+  for (const rel::ColumnDef& def : data_schema_.columns()) {
+    updated.AddColumn(def.name, def.name == name ? type : def.type);
+  }
+  data_schema_ = std::move(updated);
+  return Status::OK();
+}
+
+// --- Split-by-rlist ------------------------------------------------------
+
+Status SplitByRlistModel::Init() {
+  ORPHEUS_RETURN_NOT_OK(db_->CreateTable(DataTable(), RecordSchema(), {"rid"}));
+  rel::Schema versioning;
+  versioning.AddColumn("vid", rel::DataType::kInt64);
+  versioning.AddColumn("rlist", rel::DataType::kIntArray);
+  return db_->CreateTable(VersioningTable(), std::move(versioning), {"vid"});
+}
+
+Status SplitByRlistModel::AddVersion(VersionId vid,
+                                     const std::string& staged_table,
+                                     const std::vector<RecordId>& rids,
+                                     const rel::Chunk& new_records,
+                                     VersionId primary_parent) {
+  (void)primary_parent;
+  (void)rids;
+  if (new_records.num_rows() > 0) {
+    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * data, db_->GetTable(DataTable()));
+    ORPHEUS_RETURN_NOT_OK(BulkAppend(data, new_records));
+  }
+  // Table 1 commit: a single versioning-table tuple — no array appends.
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk unused,
+      db_->Execute("INSERT INTO " + VersioningTable() + " VALUES (" +
+                   std::to_string(vid) + ", ARRAY(SELECT rid FROM " +
+                   staged_table + "))"));
+  (void)unused;
+  return Status::OK();
+}
+
+Status SplitByRlistModel::CheckoutVersion(VersionId vid,
+                                          const std::string& table_name) {
+  // Table 1 checkout: unnest the version's rlist, join the data table.
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk unused,
+      db_->Execute("SELECT d.* INTO " + table_name + " FROM " + DataTable() +
+                   " d, (SELECT unnest(rlist) AS rid_tmp FROM " +
+                   VersioningTable() + " WHERE vid = " + std::to_string(vid) +
+                   ") AS tmp WHERE d.rid = tmp.rid_tmp"));
+  (void)unused;
+  return Status::OK();
+}
+
+Result<std::vector<RecordId>> SplitByRlistModel::VersionRecords(VersionId vid) {
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk out,
+      db_->Execute("SELECT unnest(rlist) AS rid FROM " + VersioningTable() +
+                   " WHERE vid = " + std::to_string(vid)));
+  return IntColumn(out, "rid");
+}
+
+int64_t SplitByRlistModel::StorageBytes() const {
+  return TableBytes(DataTable()) + TableBytes(VersioningTable());
+}
+
+Status SplitByRlistModel::AddDataColumn(const std::string& name,
+                                        rel::DataType type) {
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Table * data, db_->GetTable(DataTable()));
+  ORPHEUS_RETURN_NOT_OK(data->AddColumn(name, type));
+  data_schema_.AddColumn(name, type);
+  return Status::OK();
+}
+
+Status SplitByRlistModel::WidenDataColumn(const std::string& name,
+                                          rel::DataType type) {
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Table * data, db_->GetTable(DataTable()));
+  ORPHEUS_RETURN_NOT_OK(data->AlterColumnType(name, type));
+  rel::Schema updated;
+  for (const rel::ColumnDef& def : data_schema_.columns()) {
+    updated.AddColumn(def.name, def.name == name ? type : def.type);
+  }
+  data_schema_ = std::move(updated);
+  return Status::OK();
+}
+
+// --- Delta-based ---------------------------------------------------------
+
+std::string DeltaBasedModel::DeltaTable(VersionId vid) const {
+  return cvd_name_ + "_delta_" + std::to_string(vid);
+}
+
+Status DeltaBasedModel::Init() {
+  rel::Schema meta;
+  meta.AddColumn("vid", rel::DataType::kInt64);
+  meta.AddColumn("base", rel::DataType::kInt64);
+  return db_->CreateTable(cvd_name_ + "_deltameta", std::move(meta), {"vid"});
+}
+
+Status DeltaBasedModel::AddVersion(VersionId vid,
+                                   const std::string& staged_table,
+                                   const std::vector<RecordId>& rids,
+                                   const rel::Chunk& new_records,
+                                   VersionId primary_parent) {
+  (void)new_records;
+  rel::Schema delta_schema = RecordSchema();
+  delta_schema.AddColumn("tombstone", rel::DataType::kBool);
+  ORPHEUS_RETURN_NOT_OK(db_->CreateTable(DeltaTable(vid), delta_schema, {"rid"}));
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Table * delta, db_->GetTable(DeltaTable(vid)));
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Table * staged, db_->GetTable(staged_table));
+  const rel::Chunk& staged_rows = staged->data();
+
+  std::unordered_set<RecordId> parent_rids;
+  if (primary_parent >= 0) {
+    ORPHEUS_ASSIGN_OR_RETURN(std::vector<RecordId> prids,
+                             VersionRecords(primary_parent));
+    parent_rids.insert(prids.begin(), prids.end());
+  }
+
+  // Inserts: rows of the new version absent from the base version.
+  std::vector<uint32_t> insert_rows;
+  std::unordered_set<RecordId> staged_set;
+  staged_set.reserve(rids.size() * 2);
+  for (size_t i = 0; i < rids.size(); ++i) {
+    staged_set.insert(rids[i]);
+    if (parent_rids.count(rids[i]) == 0) {
+      insert_rows.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  rel::Chunk& dst = delta->mutable_chunk();
+  for (int c = 0; c < staged_rows.num_columns(); ++c) {
+    dst.mutable_column(c).Gather(staged_rows.column(c), insert_rows);
+  }
+  int tomb_col = dst.schema().FindColumn("tombstone");
+  for (size_t i = 0; i < insert_rows.size(); ++i) {
+    dst.mutable_column(tomb_col).Append(rel::Value::Bool(false));
+  }
+  // Deletes: base records absent from the new version get tombstones.
+  for (RecordId rid : parent_rids) {
+    if (staged_set.count(rid) > 0) continue;
+    std::vector<rel::Value> row(static_cast<size_t>(dst.schema().num_columns()));
+    row[0] = rel::Value::Int(rid);
+    row[static_cast<size_t>(tomb_col)] = rel::Value::Bool(true);
+    dst.AppendRow(row);
+  }
+
+  base_[vid] = primary_parent;
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk unused,
+      db_->Execute("INSERT INTO " + cvd_name_ + "_deltameta VALUES (" +
+                   std::to_string(vid) + ", " + std::to_string(primary_parent) +
+                   ")"));
+  (void)unused;
+  return Status::OK();
+}
+
+Result<std::vector<VersionId>> DeltaBasedModel::Lineage(VersionId vid) const {
+  std::vector<VersionId> chain;
+  VersionId cur = vid;
+  while (cur >= 0) {
+    auto it = base_.find(cur);
+    if (it == base_.end()) {
+      return Status::NotFound("no delta for version " + std::to_string(cur));
+    }
+    chain.push_back(cur);
+    cur = it->second;
+  }
+  return chain;
+}
+
+Status DeltaBasedModel::Replay(VersionId vid, rel::Chunk* out) {
+  ORPHEUS_ASSIGN_OR_RETURN(std::vector<VersionId> chain, Lineage(vid));
+  std::unordered_set<RecordId> seen;
+  for (VersionId v : chain) {  // newest first: first occurrence wins
+    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * delta, db_->GetTable(DeltaTable(v)));
+    const rel::Chunk& rows = delta->data();
+    int rid_col = rows.schema().FindColumn("rid");
+    int tomb_col = rows.schema().FindColumn("tombstone");
+    const std::vector<int64_t>& rids = rows.column(rid_col).ints();
+    const std::vector<int64_t>& tombs = rows.column(tomb_col).ints();
+    std::vector<uint32_t> keep;
+    for (size_t i = 0; i < rows.num_rows(); ++i) {
+      if (!seen.insert(rids[i]).second) continue;  // discarded: occurred before
+      if (tombs[i] == 0) keep.push_back(static_cast<uint32_t>(i));
+    }
+    // Append kept rows (rid + data columns; tombstone dropped).
+    for (int c = 0; c < out->num_columns(); ++c) {
+      out->mutable_column(c).Gather(rows.column(c), keep);
+    }
+  }
+  return Status::OK();
+}
+
+Status DeltaBasedModel::CheckoutVersion(VersionId vid,
+                                        const std::string& table_name) {
+  rel::Chunk out(RecordSchema());
+  ORPHEUS_RETURN_NOT_OK(Replay(vid, &out));
+  return db_->AdoptTable(table_name, std::move(out));
+}
+
+Result<std::vector<RecordId>> DeltaBasedModel::VersionRecords(VersionId vid) {
+  ORPHEUS_ASSIGN_OR_RETURN(std::vector<VersionId> chain, Lineage(vid));
+  std::unordered_set<RecordId> seen;
+  std::vector<RecordId> out;
+  for (VersionId v : chain) {
+    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * delta, db_->GetTable(DeltaTable(v)));
+    const rel::Chunk& rows = delta->data();
+    int rid_col = rows.schema().FindColumn("rid");
+    int tomb_col = rows.schema().FindColumn("tombstone");
+    const std::vector<int64_t>& rids = rows.column(rid_col).ints();
+    const std::vector<int64_t>& tombs = rows.column(tomb_col).ints();
+    for (size_t i = 0; i < rows.num_rows(); ++i) {
+      if (!seen.insert(rids[i]).second) continue;
+      if (tombs[i] == 0) out.push_back(rids[i]);
+    }
+  }
+  return out;
+}
+
+int64_t DeltaBasedModel::StorageBytes() const {
+  int64_t bytes = TableBytes(cvd_name_ + "_deltameta");
+  for (const auto& [vid, base] : base_) bytes += TableBytes(DeltaTable(vid));
+  return bytes;
+}
+
+}  // namespace orpheus::core

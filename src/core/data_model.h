@@ -1,0 +1,215 @@
+// The five CVD representations of §3 of the paper, behind one
+// interface. Each model owns its backing tables inside the (version-
+// unaware) relstore database and implements version addition and
+// checkout by issuing the SQL of the paper's Table 1.
+//
+//  - kTablePerVersion : one table per version (storage baseline)
+//  - kCombinedTable   : single table with a `vlist INT[]` per record
+//  - kSplitByVlist    : data table + versioning table keyed by rid
+//  - kSplitByRlist    : data table + versioning table keyed by vid
+//                       (the model OrpheusDB adopts)
+//  - kDeltaBased      : per-version delta tables with tombstones
+//
+// Division of labour: the CVD layer (cvd.h) is the record manager — it
+// resolves which staged rows are new records and assigns rids. Models
+// only persist and retrieve.
+
+#ifndef ORPHEUS_CORE_DATA_MODEL_H_
+#define ORPHEUS_CORE_DATA_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/record.h"
+#include "core/version_graph.h"
+#include "relstore/database.h"
+
+namespace orpheus::core {
+
+enum class DataModelKind {
+  kTablePerVersion,
+  kCombinedTable,
+  kSplitByVlist,
+  kSplitByRlist,
+  kDeltaBased,
+};
+
+const char* DataModelKindName(DataModelKind kind);
+Result<DataModelKind> DataModelKindFromName(const std::string& name);
+
+class DataModel {
+ public:
+  // `data_schema` holds the data attributes only; models prepend rid.
+  DataModel(rel::Database* db, std::string cvd_name, rel::Schema data_schema);
+  virtual ~DataModel() = default;
+
+  DataModel(const DataModel&) = delete;
+  DataModel& operator=(const DataModel&) = delete;
+
+  virtual DataModelKind kind() const = 0;
+
+  // Creates the backing tables. Called once per CVD.
+  virtual Status Init() = 0;
+
+  // Registers version `vid` whose full record set is `rids`.
+  // `staged_table` is the materialized table being committed; its rid
+  // column has already been resolved by the record manager and matches
+  // `rids` row-for-row. `new_records` contains exactly the records not
+  // previously in the CVD (schema: rid + data attributes).
+  // `primary_parent` is the parent sharing the most records (-1 for
+  // the initial version); only the delta model depends on it.
+  virtual Status AddVersion(VersionId vid, const std::string& staged_table,
+                            const std::vector<RecordId>& rids,
+                            const rel::Chunk& new_records,
+                            VersionId primary_parent) = 0;
+
+  // Materializes version `vid` as `table_name` (schema: rid + data
+  // attributes) — the checkout path.
+  virtual Status CheckoutVersion(VersionId vid, const std::string& table_name) = 0;
+
+  // The rid set of a version (record-manager bookkeeping).
+  virtual Result<std::vector<RecordId>> VersionRecords(VersionId vid) = 0;
+
+  // Convenience: version rows as an in-memory chunk (rid + data).
+  Result<rel::Chunk> VersionRows(VersionId vid);
+
+  // Payload + index bytes across this model's backing tables.
+  virtual int64_t StorageBytes() const = 0;
+
+  // Schema evolution support (§3.3). Only the split models support it;
+  // others return NotSupported.
+  virtual Status AddDataColumn(const std::string& name, rel::DataType type);
+  virtual Status WidenDataColumn(const std::string& name, rel::DataType type);
+
+  const rel::Schema& data_schema() const { return data_schema_; }
+  const std::string& cvd_name() const { return cvd_name_; }
+
+ protected:
+  // rid + data attributes.
+  rel::Schema RecordSchema() const;
+  // Comma-separated "rid, a1, a2, ..." projection list.
+  std::string RecordColumnList() const;
+
+  int64_t TableBytes(const std::string& table) const;
+
+  rel::Database* db_;
+  std::string cvd_name_;
+  rel::Schema data_schema_;
+};
+
+// Factory for all five models.
+std::unique_ptr<DataModel> MakeDataModel(DataModelKind kind, rel::Database* db,
+                                         const std::string& cvd_name,
+                                         rel::Schema data_schema);
+
+// --- Concrete models (exposed for white-box tests) -------------------
+
+class TablePerVersionModel : public DataModel {
+ public:
+  using DataModel::DataModel;
+  DataModelKind kind() const override { return DataModelKind::kTablePerVersion; }
+  Status Init() override;
+  Status AddVersion(VersionId vid, const std::string& staged_table,
+                    const std::vector<RecordId>& rids,
+                    const rel::Chunk& new_records,
+                    VersionId primary_parent) override;
+  Status CheckoutVersion(VersionId vid, const std::string& table_name) override;
+  Result<std::vector<RecordId>> VersionRecords(VersionId vid) override;
+  int64_t StorageBytes() const override;
+
+ private:
+  std::string VersionTable(VersionId vid) const;
+  std::vector<VersionId> versions_;
+};
+
+class CombinedTableModel : public DataModel {
+ public:
+  using DataModel::DataModel;
+  DataModelKind kind() const override { return DataModelKind::kCombinedTable; }
+  Status Init() override;
+  Status AddVersion(VersionId vid, const std::string& staged_table,
+                    const std::vector<RecordId>& rids,
+                    const rel::Chunk& new_records,
+                    VersionId primary_parent) override;
+  Status CheckoutVersion(VersionId vid, const std::string& table_name) override;
+  Result<std::vector<RecordId>> VersionRecords(VersionId vid) override;
+  int64_t StorageBytes() const override;
+
+ private:
+  std::string CombinedTable() const { return cvd_name_ + "_combined"; }
+};
+
+class SplitByVlistModel : public DataModel {
+ public:
+  using DataModel::DataModel;
+  DataModelKind kind() const override { return DataModelKind::kSplitByVlist; }
+  Status Init() override;
+  Status AddVersion(VersionId vid, const std::string& staged_table,
+                    const std::vector<RecordId>& rids,
+                    const rel::Chunk& new_records,
+                    VersionId primary_parent) override;
+  Status CheckoutVersion(VersionId vid, const std::string& table_name) override;
+  Result<std::vector<RecordId>> VersionRecords(VersionId vid) override;
+  int64_t StorageBytes() const override;
+  Status AddDataColumn(const std::string& name, rel::DataType type) override;
+  Status WidenDataColumn(const std::string& name, rel::DataType type) override;
+
+ private:
+  std::string DataTable() const { return cvd_name_ + "_data"; }
+  std::string VersioningTable() const { return cvd_name_ + "_vlist"; }
+};
+
+class SplitByRlistModel : public DataModel {
+ public:
+  using DataModel::DataModel;
+  DataModelKind kind() const override { return DataModelKind::kSplitByRlist; }
+  Status Init() override;
+  Status AddVersion(VersionId vid, const std::string& staged_table,
+                    const std::vector<RecordId>& rids,
+                    const rel::Chunk& new_records,
+                    VersionId primary_parent) override;
+  Status CheckoutVersion(VersionId vid, const std::string& table_name) override;
+  Result<std::vector<RecordId>> VersionRecords(VersionId vid) override;
+  int64_t StorageBytes() const override;
+  Status AddDataColumn(const std::string& name, rel::DataType type) override;
+  Status WidenDataColumn(const std::string& name, rel::DataType type) override;
+
+  // Names exposed for the partition optimizer, which re-organizes the
+  // backing tables of this model.
+  std::string DataTable() const { return cvd_name_ + "_data"; }
+  std::string VersioningTable() const { return cvd_name_ + "_rlist"; }
+};
+
+class DeltaBasedModel : public DataModel {
+ public:
+  using DataModel::DataModel;
+  DataModelKind kind() const override { return DataModelKind::kDeltaBased; }
+  Status Init() override;
+  Status AddVersion(VersionId vid, const std::string& staged_table,
+                    const std::vector<RecordId>& rids,
+                    const rel::Chunk& new_records,
+                    VersionId primary_parent) override;
+  Status CheckoutVersion(VersionId vid, const std::string& table_name) override;
+  Result<std::vector<RecordId>> VersionRecords(VersionId vid) override;
+  int64_t StorageBytes() const override;
+
+ private:
+  std::string DeltaTable(VersionId vid) const;
+  // Walks vid -> base -> ... -> root, newest first.
+  Result<std::vector<VersionId>> Lineage(VersionId vid) const;
+  // Applies the paper's first-seen-wins replay; returns kept row
+  // positions per lineage table.
+  Status Replay(VersionId vid, rel::Chunk* out);
+
+  // Precedent metadata: vid -> base version (also persisted in the
+  // <cvd>_deltameta table for inspection).
+  std::map<VersionId, VersionId> base_;
+};
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_DATA_MODEL_H_

@@ -1,0 +1,102 @@
+#include "core/orpheus.h"
+
+#include "core/data_model.h"
+
+namespace orpheus::core {
+
+OrpheusDB::OrpheusDB() {
+  users_.insert("default");
+  current_user_ = "default";
+}
+
+Status OrpheusDB::CreateUser(const std::string& name) {
+  if (!users_.insert(name).second) {
+    return Status::AlreadyExists("user already exists: " + name);
+  }
+  return Status::OK();
+}
+
+Status OrpheusDB::Login(const std::string& name) {
+  if (users_.count(name) == 0) {
+    return Status::NotFound("no such user: " + name);
+  }
+  current_user_ = name;
+  return Status::OK();
+}
+
+Result<Cvd*> OrpheusDB::InitCvd(const std::string& name, const rel::Chunk& rows,
+                                CvdOptions options, const std::string& message) {
+  if (cvds_.count(name) > 0) {
+    return Status::AlreadyExists("CVD already exists: " + name);
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(auto cvd,
+                           Cvd::Create(&db_, name, rows.schema(), options));
+  ORPHEUS_ASSIGN_OR_RETURN(VersionId v1, cvd->InitVersion(rows, message));
+  (void)v1;
+  Cvd* raw = cvd.get();
+  cvds_[name] = std::move(cvd);
+  return raw;
+}
+
+Result<Cvd*> OrpheusDB::GetCvd(const std::string& name) {
+  auto it = cvds_.find(name);
+  if (it == cvds_.end()) return Status::NotFound("no such CVD: " + name);
+  return it->second.get();
+}
+
+std::vector<std::string> OrpheusDB::ListCvds() const {
+  std::vector<std::string> names;
+  names.reserve(cvds_.size());
+  for (const auto& [name, cvd] : cvds_) names.push_back(name);
+  return names;
+}
+
+Status OrpheusDB::DropCvd(const std::string& name) {
+  auto it = cvds_.find(name);
+  if (it == cvds_.end()) return Status::NotFound("no such CVD: " + name);
+  // Drop all backing tables with this CVD's prefix.
+  for (const std::string& table : db_.ListTables()) {
+    if (table.rfind(name + "_", 0) == 0) {
+      ORPHEUS_RETURN_NOT_OK(db_.DropTable(table));
+    }
+  }
+  resolver_overrides_.erase(name);
+  cvds_.erase(it);
+  return Status::OK();
+}
+
+Result<std::pair<std::string, std::string>> OrpheusDB::ResolveTables(
+    const std::string& cvd_name, VersionId vid) {
+  auto override_it = resolver_overrides_.find(cvd_name);
+  if (override_it != resolver_overrides_.end()) {
+    return override_it->second(cvd_name, vid);
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(Cvd * cvd, GetCvd(cvd_name));
+  auto* rlist = dynamic_cast<SplitByRlistModel*>(cvd->model());
+  if (rlist == nullptr) {
+    return Status::NotSupported(
+        "versioned SQL requires the split-by-rlist data model (CVD " +
+        cvd_name + " uses " + DataModelKindName(cvd->model()->kind()) + ")");
+  }
+  return std::make_pair(rlist->DataTable(), rlist->VersioningTable());
+}
+
+void OrpheusDB::SetTableResolver(const std::string& cvd_name,
+                                 TableResolver resolver) {
+  resolver_overrides_[cvd_name] = std::move(resolver);
+}
+
+void OrpheusDB::ClearTableResolver(const std::string& cvd_name) {
+  resolver_overrides_.erase(cvd_name);
+}
+
+Result<rel::Chunk> OrpheusDB::Run(const std::string& sql) {
+  TableResolver resolver = [this](const std::string& cvd_name, VersionId vid) {
+    return ResolveTables(cvd_name, vid);
+  };
+  ORPHEUS_ASSIGN_OR_RETURN(std::string translated,
+                           TranslateVersionedSql(sql, resolver));
+  return db_.Execute(translated);
+}
+
+}  // namespace orpheus::core

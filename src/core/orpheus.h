@@ -1,0 +1,67 @@
+// OrpheusDB: the top-level middleware facade (Figure 2 of the paper).
+//
+// Owns the backing relstore Database, the registered CVDs, the user
+// registry (access controller), and dispatches the version-control
+// verbs and versioned SQL. The CLI and the examples talk to this
+// class; tests may also reach into Cvd directly.
+
+#ifndef ORPHEUS_CORE_ORPHEUS_H_
+#define ORPHEUS_CORE_ORPHEUS_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cvd.h"
+#include "core/query_translator.h"
+#include "relstore/database.h"
+
+namespace orpheus::core {
+
+class OrpheusDB {
+ public:
+  OrpheusDB();
+
+  rel::Database* db() { return &db_; }
+
+  // --- Access controller ------------------------------------------------
+  Status CreateUser(const std::string& name);
+  Status Login(const std::string& name);  // the paper's `config`
+  const std::string& WhoAmI() const { return current_user_; }
+
+  // --- CVD lifecycle -----------------------------------------------------
+  // `init`: registers a dataset as a new CVD and creates version 1.
+  Result<Cvd*> InitCvd(const std::string& name, const rel::Chunk& rows,
+                       CvdOptions options, const std::string& message);
+  Result<Cvd*> GetCvd(const std::string& name);
+  std::vector<std::string> ListCvds() const;  // `ls`
+  Status DropCvd(const std::string& name);    // `drop`
+
+  // --- Versioned SQL (`run`) ---------------------------------------------
+  // Translates VERSION/OF/CVD constructs, then executes.
+  Result<rel::Chunk> Run(const std::string& sql);
+
+  // The translator's view of which tables back a CVD version; the
+  // partition optimizer installs overrides through Cvd.
+  Result<std::pair<std::string, std::string>> ResolveTables(
+      const std::string& cvd_name, VersionId vid);
+
+  // Per-CVD table resolver overrides (installed by the partition
+  // optimizer alongside the checkout override).
+  void SetTableResolver(const std::string& cvd_name, TableResolver resolver);
+  void ClearTableResolver(const std::string& cvd_name);
+
+ private:
+  rel::Database db_;
+  std::map<std::string, std::unique_ptr<Cvd>> cvds_;
+  std::map<std::string, TableResolver> resolver_overrides_;
+  std::set<std::string> users_;
+  std::string current_user_;
+};
+
+}  // namespace orpheus::core
+
+#endif  // ORPHEUS_CORE_ORPHEUS_H_

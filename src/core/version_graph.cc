@@ -1,0 +1,166 @@
+#include "core/version_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace orpheus::core {
+
+Status VersionGraph::AddVersion(VersionId vid,
+                                const std::vector<VersionId>& parents,
+                                const std::vector<int64_t>& parent_weights,
+                                int64_t num_records) {
+  if (nodes_.count(vid) > 0) {
+    return Status::AlreadyExists("version already exists: " + std::to_string(vid));
+  }
+  if (parents.size() != parent_weights.size()) {
+    return Status::InvalidArgument("parents/weights size mismatch");
+  }
+  VersionNode node;
+  node.vid = vid;
+  node.parents = parents;
+  node.parent_weights = parent_weights;
+  node.num_records = num_records;
+  int level = 1;
+  for (VersionId parent : parents) {
+    auto it = nodes_.find(parent);
+    if (it == nodes_.end()) {
+      return Status::NotFound("parent version not found: " + std::to_string(parent));
+    }
+    level = std::max(level, it->second.level + 1);
+  }
+  node.level = level;
+  for (VersionId parent : parents) {
+    nodes_[parent].children.push_back(vid);
+  }
+  nodes_[vid] = std::move(node);
+  order_.push_back(vid);
+  return Status::OK();
+}
+
+Result<const VersionNode*> VersionGraph::GetNode(VersionId vid) const {
+  auto it = nodes_.find(vid);
+  if (it == nodes_.end()) {
+    return Status::NotFound("version not found: " + std::to_string(vid));
+  }
+  return &it->second;
+}
+
+std::vector<VersionId> VersionGraph::Roots() const {
+  std::vector<VersionId> roots;
+  for (VersionId vid : order_) {
+    if (nodes_.at(vid).parents.empty()) roots.push_back(vid);
+  }
+  return roots;
+}
+
+namespace {
+
+Result<std::vector<VersionId>> Traverse(
+    const std::map<VersionId, VersionNode>& nodes, VersionId start,
+    bool follow_parents) {
+  auto it = nodes.find(start);
+  if (it == nodes.end()) {
+    return Status::NotFound("version not found: " + std::to_string(start));
+  }
+  std::vector<VersionId> out;
+  std::set<VersionId> seen = {start};
+  std::deque<VersionId> frontier = {start};
+  while (!frontier.empty()) {
+    VersionId cur = frontier.front();
+    frontier.pop_front();
+    const VersionNode& node = nodes.at(cur);
+    const std::vector<VersionId>& next =
+        follow_parents ? node.parents : node.children;
+    for (VersionId n : next) {
+      if (seen.insert(n).second) {
+        out.push_back(n);
+        frontier.push_back(n);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<VersionId>> VersionGraph::Ancestors(VersionId vid) const {
+  return Traverse(nodes_, vid, /*follow_parents=*/true);
+}
+
+Result<std::vector<VersionId>> VersionGraph::Descendants(VersionId vid) const {
+  return Traverse(nodes_, vid, /*follow_parents=*/false);
+}
+
+bool VersionGraph::IsTree() const {
+  for (const auto& [vid, node] : nodes_) {
+    if (node.parents.size() > 1) return false;
+  }
+  return true;
+}
+
+VersionGraph VersionGraph::ToTree(int64_t* duplicated_records) const {
+  VersionGraph tree;
+  int64_t duplicated = 0;
+  for (VersionId vid : order_) {
+    const VersionNode& node = nodes_.at(vid);
+    if (node.parents.size() <= 1) {
+      // Root or single-parent: copied verbatim.
+      (void)tree.AddVersion(vid, node.parents, node.parent_weights,
+                            node.num_records);
+      continue;
+    }
+    // Merge node: retain the max-weight incoming edge (Appendix C.1);
+    // records shared with the dropped parents count as duplicated.
+    size_t best = 0;
+    for (size_t i = 1; i < node.parents.size(); ++i) {
+      if (node.parent_weights[i] > node.parent_weights[best]) best = i;
+    }
+    for (size_t i = 0; i < node.parents.size(); ++i) {
+      if (i != best) duplicated += node.parent_weights[i];
+    }
+    (void)tree.AddVersion(vid, {node.parents[best]},
+                          {node.parent_weights[best]}, node.num_records);
+  }
+  if (duplicated_records != nullptr) *duplicated_records = duplicated;
+  return tree;
+}
+
+int64_t VersionGraph::TotalNewRecords() const {
+  int64_t total = 0;
+  for (const auto& [vid, node] : nodes_) {
+    int64_t inherited = 0;
+    if (!node.parents.empty()) {
+      // In a tree there is exactly one weight; in a DAG this
+      // undercounts sharing (which is why |R^| exists).
+      inherited = *std::max_element(node.parent_weights.begin(),
+                                    node.parent_weights.end());
+    }
+    total += node.num_records - inherited;
+  }
+  return total;
+}
+
+int64_t VersionGraph::TotalBipartiteEdges() const {
+  int64_t total = 0;
+  for (const auto& [vid, node] : nodes_) total += node.num_records;
+  return total;
+}
+
+std::string VersionGraph::ToDot() const {
+  std::string out = "digraph versions {\n";
+  for (VersionId vid : order_) {
+    const VersionNode& node = nodes_.at(vid);
+    out += "  v" + std::to_string(vid) + " [label=\"v" + std::to_string(vid) +
+           " (" + std::to_string(node.num_records) + ")\"];\n";
+    for (size_t i = 0; i < node.parents.size(); ++i) {
+      out += "  v" + std::to_string(node.parents[i]) + " -> v" +
+             std::to_string(vid) + " [label=\"" +
+             std::to_string(node.parent_weights[i]) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace orpheus::core

@@ -1,0 +1,314 @@
+#include "partition/baselines.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace orpheus::part {
+
+namespace {
+
+uint64_t MixHash(uint64_t x, uint64_t seed) {
+  x ^= seed;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Min-hash signature of a record set.
+std::vector<uint64_t> Shingles(const std::vector<RecordId>& records,
+                               int num_hashes) {
+  std::vector<uint64_t> sig(static_cast<size_t>(num_hashes),
+                            std::numeric_limits<uint64_t>::max());
+  for (RecordId rid : records) {
+    for (int h = 0; h < num_hashes; ++h) {
+      uint64_t v = MixHash(static_cast<uint64_t>(rid),
+                           0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(h + 1));
+      sig[static_cast<size_t>(h)] = std::min(sig[static_cast<size_t>(h)], v);
+    }
+  }
+  return sig;
+}
+
+int CommonShingles(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b) {
+  int common = 0;
+  for (size_t i = 0; i < a.size(); ++i) common += a[i] == b[i] ? 1 : 0;
+  return common;
+}
+
+std::vector<RecordId> SortedUnion(const std::vector<RecordId>& a,
+                                  const std::vector<RecordId>& b) {
+  std::vector<RecordId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+struct Cluster {
+  std::vector<VersionId> versions;
+  std::vector<RecordId> records;  // sorted union
+  std::vector<uint64_t> shingles;
+  bool alive = true;
+};
+
+}  // namespace
+
+Result<Partitioning> RunAgglo(const BipartiteGraph& graph,
+                              const AggloOptions& options) {
+  std::vector<Cluster> clusters;
+  clusters.reserve(graph.num_versions());
+  for (VersionId vid : graph.versions()) {
+    ORPHEUS_ASSIGN_OR_RETURN(const std::vector<RecordId>* records,
+                             graph.RecordsOf(vid));
+    Cluster c;
+    c.versions = {vid};
+    c.records = *records;
+    c.shingles = Shingles(*records, options.num_hashes);
+    clusters.push_back(std::move(c));
+  }
+
+  // τ via uniform sampling of pair similarities.
+  Rng rng(options.seed);
+  int tau = 1;
+  if (clusters.size() > 1) {
+    int64_t total = 0;
+    int samples = 64;
+    for (int s = 0; s < samples; ++s) {
+      size_t a = rng.Uniform(clusters.size());
+      size_t b = rng.Uniform(clusters.size());
+      if (a == b) b = (b + 1) % clusters.size();
+      total += CommonShingles(clusters[a].shingles, clusters[b].shingles);
+    }
+    tau = std::max<int>(1, static_cast<int>(total / samples));
+  }
+
+  // Sort by shingle signature so similar partitions are adjacent.
+  std::sort(clusters.begin(), clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              return a.shingles < b.shingles;
+            });
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool merged_any = false;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (!clusters[i].alive) continue;
+      int best = -1;
+      int best_common = tau - 1;
+      int considered = 0;
+      for (size_t j = i + 1; j < clusters.size() && considered < options.lookahead;
+           ++j) {
+        if (!clusters[j].alive) continue;
+        ++considered;
+        int common = CommonShingles(clusters[i].shingles, clusters[j].shingles);
+        if (common <= best_common) continue;
+        if (options.capacity > 0) {
+          std::vector<RecordId> merged =
+              SortedUnion(clusters[i].records, clusters[j].records);
+          if (static_cast<int64_t>(merged.size()) > options.capacity) continue;
+        }
+        best = static_cast<int>(j);
+        best_common = common;
+      }
+      if (best < 0) continue;
+      Cluster& a = clusters[i];
+      Cluster& b = clusters[static_cast<size_t>(best)];
+      a.versions.insert(a.versions.end(), b.versions.begin(), b.versions.end());
+      a.records = SortedUnion(a.records, b.records);
+      for (size_t h = 0; h < a.shingles.size(); ++h) {
+        a.shingles[h] = std::min(a.shingles[h], b.shingles[h]);
+      }
+      b.alive = false;
+      merged_any = true;
+    }
+    if (!merged_any) break;
+  }
+
+  Partitioning out;
+  for (Cluster& c : clusters) {
+    if (c.alive) out.groups.push_back(std::move(c.versions));
+  }
+  ORPHEUS_RETURN_NOT_OK(out.ComputeCosts(graph));
+  return out;
+}
+
+Result<Partitioning> RunAggloForBudget(const BipartiteGraph& graph, int64_t gamma,
+                                       const AggloOptions& options,
+                                       int* search_iterations) {
+  // Larger BC -> more merging -> less duplication -> smaller S, larger
+  // Cavg. Find the smallest BC whose S fits the budget.
+  int64_t lo = 1;
+  int64_t hi = graph.num_records();
+  for (VersionId vid : graph.versions()) {
+    ORPHEUS_ASSIGN_OR_RETURN(const std::vector<RecordId>* records,
+                             graph.RecordsOf(vid));
+    lo = std::max<int64_t>(lo, static_cast<int64_t>(records->size()));
+  }
+  Result<Partitioning> best = Status::Internal("no feasible partitioning");
+  int iterations = 0;
+  while (lo <= hi && iterations < 14) {
+    ++iterations;
+    int64_t mid = lo + (hi - lo) / 2;
+    AggloOptions bounded = options;
+    bounded.capacity = mid;
+    ORPHEUS_ASSIGN_OR_RETURN(Partitioning attempt, RunAgglo(graph, bounded));
+    if (attempt.storage_cost <= gamma) {
+      if (!best.ok() ||
+          attempt.avg_checkout_cost < best.value().avg_checkout_cost) {
+        best = std::move(attempt);
+      }
+      hi = mid - 1;  // try smaller partitions (more duplication)
+    } else {
+      lo = mid + 1;
+    }
+  }
+  if (search_iterations != nullptr) *search_iterations = iterations;
+  if (!best.ok()) {
+    // Unbounded capacity merges most aggressively (least storage).
+    AggloOptions unbounded = options;
+    unbounded.capacity = 0;
+    return RunAgglo(graph, unbounded);
+  }
+  return best;
+}
+
+Result<Partitioning> RunKMeans(const BipartiteGraph& graph,
+                               const KMeansOptions& options) {
+  size_t n = graph.num_versions();
+  if (n == 0) return Status::InvalidArgument("empty bipartite graph");
+  size_t k = std::min<size_t>(static_cast<size_t>(std::max(1, options.k)), n);
+
+  // Collect the record lists once.
+  std::vector<const std::vector<RecordId>*> records(n);
+  for (size_t i = 0; i < n; ++i) {
+    ORPHEUS_ASSIGN_OR_RETURN(records[i], graph.RecordsOf(graph.versions()[i]));
+  }
+
+  // Seed centroids with K distinct random versions.
+  Rng rng(options.seed);
+  std::vector<size_t> seeds;
+  std::unordered_set<size_t> used;
+  while (seeds.size() < k) {
+    size_t s = rng.Uniform(n);
+    if (used.insert(s).second) seeds.push_back(s);
+  }
+  std::vector<std::unordered_set<RecordId>> centroids(k);
+  for (size_t c = 0; c < k; ++c) {
+    centroids[c].insert(records[seeds[c]]->begin(), records[seeds[c]]->end());
+  }
+
+  auto overlap = [&](size_t version, const std::unordered_set<RecordId>& centroid) {
+    int64_t common = 0;
+    for (RecordId rid : *records[version]) common += centroid.count(rid) > 0 ? 1 : 0;
+    return common;
+  };
+  auto added_records = [&](size_t version,
+                           const std::unordered_set<RecordId>& centroid) {
+    int64_t added = 0;
+    for (RecordId rid : *records[version]) added += centroid.count(rid) > 0 ? 0 : 1;
+    return added;
+  };
+
+  // Initial assignment: nearest centroid by common records.
+  std::vector<size_t> assign(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t best = 0;
+    int64_t best_common = -1;
+    for (size_t c = 0; c < k; ++c) {
+      int64_t common = overlap(i, centroids[c]);
+      if (common > best_common) {
+        best_common = common;
+        best = c;
+      }
+    }
+    assign[i] = best;
+  }
+
+  auto rebuild_centroids = [&]() {
+    for (auto& c : centroids) c.clear();
+    for (size_t i = 0; i < n; ++i) {
+      centroids[assign[i]].insert(records[i]->begin(), records[i]->end());
+    }
+  };
+  rebuild_centroids();
+
+  // Refinement: move versions to minimize total records, respecting BC.
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    bool moved = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = assign[i];
+      int64_t best_added = added_records(i, centroids[best]);
+      for (size_t c = 0; c < k; ++c) {
+        if (c == assign[i]) continue;
+        int64_t added = added_records(i, centroids[c]);
+        if (options.capacity > 0 &&
+            static_cast<int64_t>(centroids[c].size()) + added > options.capacity) {
+          continue;
+        }
+        if (added < best_added) {
+          best_added = added;
+          best = c;
+        }
+      }
+      if (best != assign[i]) {
+        assign[i] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+    rebuild_centroids();  // unions must be refreshed after moves
+  }
+
+  Partitioning out;
+  out.groups.resize(k);
+  for (size_t i = 0; i < n; ++i) {
+    out.groups[assign[i]].push_back(graph.versions()[i]);
+  }
+  out.groups.erase(std::remove_if(out.groups.begin(), out.groups.end(),
+                                  [](const std::vector<VersionId>& g) {
+                                    return g.empty();
+                                  }),
+                   out.groups.end());
+  ORPHEUS_RETURN_NOT_OK(out.ComputeCosts(graph));
+  return out;
+}
+
+Result<Partitioning> RunKMeansForBudget(const BipartiteGraph& graph, int64_t gamma,
+                                        const KMeansOptions& options,
+                                        int* search_iterations) {
+  // Larger K -> more partitions -> larger S, smaller Cavg. Find the
+  // largest K whose storage fits.
+  int lo = 1;
+  int hi = static_cast<int>(graph.num_versions());
+  Result<Partitioning> best = Status::Internal("no feasible partitioning");
+  int iterations = 0;
+  while (lo <= hi && iterations < 12) {
+    ++iterations;
+    int mid = lo + (hi - lo) / 2;
+    KMeansOptions sized = options;
+    sized.k = mid;
+    ORPHEUS_ASSIGN_OR_RETURN(Partitioning attempt, RunKMeans(graph, sized));
+    if (attempt.storage_cost <= gamma) {
+      if (!best.ok() ||
+          attempt.avg_checkout_cost < best.value().avg_checkout_cost) {
+        best = std::move(attempt);
+      }
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  if (search_iterations != nullptr) *search_iterations = iterations;
+  if (!best.ok()) {
+    KMeansOptions single = options;
+    single.k = 1;
+    return RunKMeans(graph, single);
+  }
+  return best;
+}
+
+}  // namespace orpheus::part

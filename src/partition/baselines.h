@@ -1,0 +1,63 @@
+// Baseline partitioners adapted from NScale (Quamar et al.), exactly
+// as the paper's §5.1 describes them:
+//
+//  AGGLO  — agglomerative clustering. Each version starts as its own
+//           partition; partitions are ordered by min-hash shingles and
+//           repeatedly merged with the following-l candidate sharing
+//           the most shingles, subject to a per-partition record
+//           capacity BC and a sampled shingle threshold τ.
+//
+//  KMEANS — k-means over record sets. K random versions seed the
+//           centroids (their record sets); versions join the centroid
+//           with the largest record overlap; centroids become the
+//           union of member records; subsequent iterations move
+//           versions to minimize total records across partitions.
+//
+// Both operate on the full version-record bipartite graph (that is why
+// they are orders of magnitude slower than LYRESPLIT — the effect
+// Figures 10 and 11 measure). Budgeted variants binary-search BC / K
+// for Problem 1.
+
+#ifndef ORPHEUS_PARTITION_BASELINES_H_
+#define ORPHEUS_PARTITION_BASELINES_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "partition/bipartite.h"
+
+namespace orpheus::part {
+
+struct AggloOptions {
+  int64_t capacity = 0;        // BC; 0 = unbounded
+  int lookahead = 100;         // l: following partitions considered
+  int num_hashes = 16;         // min-hash signature width
+  int max_passes = 20;
+  uint64_t seed = 42;          // for τ sampling
+};
+
+Result<Partitioning> RunAgglo(const BipartiteGraph& graph, const AggloOptions& options);
+
+// Binary search on BC to minimize checkout cost subject to S <= gamma.
+Result<Partitioning> RunAggloForBudget(const BipartiteGraph& graph, int64_t gamma,
+                                       const AggloOptions& options,
+                                       int* search_iterations);
+
+struct KMeansOptions {
+  int k = 8;
+  int64_t capacity = 0;  // BC; 0 = unbounded (the paper's default)
+  int iterations = 10;
+  uint64_t seed = 42;
+};
+
+Result<Partitioning> RunKMeans(const BipartiteGraph& graph,
+                               const KMeansOptions& options);
+
+// Binary search on K to minimize checkout cost subject to S <= gamma.
+Result<Partitioning> RunKMeansForBudget(const BipartiteGraph& graph, int64_t gamma,
+                                        const KMeansOptions& options,
+                                        int* search_iterations);
+
+}  // namespace orpheus::part
+
+#endif  // ORPHEUS_PARTITION_BASELINES_H_

@@ -1,0 +1,86 @@
+#include "partition/bipartite.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace orpheus::part {
+
+BipartiteGraph BipartiteGraph::FromVersionSets(
+    std::vector<VersionId> versions,
+    std::vector<std::vector<RecordId>> version_records) {
+  BipartiteGraph g;
+  g.versions_ = std::move(versions);
+  g.version_records_ = std::move(version_records);
+  std::unordered_set<RecordId> distinct;
+  for (size_t i = 0; i < g.versions_.size(); ++i) {
+    g.index_of_[g.versions_[i]] = i;
+    std::vector<RecordId>& records = g.version_records_[i];
+    std::sort(records.begin(), records.end());
+    records.erase(std::unique(records.begin(), records.end()), records.end());
+    g.num_edges_ += static_cast<int64_t>(records.size());
+    distinct.insert(records.begin(), records.end());
+  }
+  g.num_records_ = static_cast<int64_t>(distinct.size());
+  return g;
+}
+
+Result<const std::vector<RecordId>*> BipartiteGraph::RecordsOf(
+    VersionId vid) const {
+  auto it = index_of_.find(vid);
+  if (it == index_of_.end()) {
+    return Status::NotFound("version not in bipartite graph: " +
+                            std::to_string(vid));
+  }
+  return &version_records_[it->second];
+}
+
+double BipartiteGraph::MinCheckoutCost() const {
+  if (versions_.empty()) return 0.0;
+  return static_cast<double>(num_edges_) / static_cast<double>(versions_.size());
+}
+
+Result<std::vector<RecordId>> Partitioning::UnionRecords(
+    const BipartiteGraph& graph, const std::vector<VersionId>& vids) {
+  std::vector<RecordId> out;
+  for (VersionId vid : vids) {
+    ORPHEUS_ASSIGN_OR_RETURN(const std::vector<RecordId>* records,
+                             graph.RecordsOf(vid));
+    std::vector<RecordId> merged;
+    merged.reserve(out.size() + records->size());
+    std::set_union(out.begin(), out.end(), records->begin(), records->end(),
+                   std::back_inserter(merged));
+    out = std::move(merged);
+  }
+  return out;
+}
+
+Status Partitioning::ComputeCosts(const BipartiteGraph& graph) {
+  partition_records.clear();
+  storage_cost = 0;
+  avg_checkout_cost = 0.0;
+  std::set<VersionId> assigned;
+  int64_t weighted = 0;
+  for (const std::vector<VersionId>& group : groups) {
+    for (VersionId vid : group) {
+      if (!assigned.insert(vid).second) {
+        return Status::InvalidArgument("version assigned to two partitions: " +
+                                       std::to_string(vid));
+      }
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(std::vector<RecordId> records,
+                             UnionRecords(graph, group));
+    int64_t rk = static_cast<int64_t>(records.size());
+    partition_records.push_back(rk);
+    storage_cost += rk;
+    weighted += static_cast<int64_t>(group.size()) * rk;
+  }
+  if (assigned.size() != graph.num_versions()) {
+    return Status::InvalidArgument("partitioning does not cover all versions");
+  }
+  avg_checkout_cost =
+      static_cast<double>(weighted) / static_cast<double>(graph.num_versions());
+  return Status::OK();
+}
+
+}  // namespace orpheus::part

@@ -1,0 +1,382 @@
+#include "partition/lyresplit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace orpheus::part {
+
+namespace {
+
+using core::VersionGraph;
+using core::VersionId;
+
+// Index-based view of a version tree.
+struct TreeNodes {
+  std::vector<VersionId> vid;
+  std::vector<int> parent;  // -1 for roots
+  std::vector<int64_t> weight;  // w(parent, i); 0 for roots
+  std::vector<int64_t> recs;    // |R(vi)|
+  std::vector<std::vector<int>> children;
+
+  static Result<TreeNodes> FromGraph(const VersionGraph& graph) {
+    TreeNodes t;
+    std::map<VersionId, int> index;
+    for (VersionId v : graph.versions()) {
+      ORPHEUS_ASSIGN_OR_RETURN(const core::VersionNode* node, graph.GetNode(v));
+      int i = static_cast<int>(t.vid.size());
+      index[v] = i;
+      t.vid.push_back(v);
+      t.recs.push_back(node->num_records);
+      if (node->parents.empty()) {
+        t.parent.push_back(-1);
+        t.weight.push_back(0);
+      } else {
+        t.parent.push_back(index.at(node->parents[0]));
+        t.weight.push_back(node->parent_weights[0]);
+      }
+      t.children.emplace_back();
+    }
+    for (size_t i = 0; i < t.vid.size(); ++i) {
+      if (t.parent[i] >= 0) t.children[static_cast<size_t>(t.parent[i])].push_back(static_cast<int>(i));
+    }
+    return t;
+  }
+};
+
+// One connected subtree being considered as a partition.
+struct Component {
+  int root = -1;
+  std::vector<int> nodes;
+};
+
+struct Recurser {
+  const TreeNodes& tree;
+  double delta;
+  std::vector<Component> out;
+  int max_level = 0;
+
+  // t(i): new records contributed by node i relative to its in-
+  // component parent (the component root contributes all its records).
+  int64_t NewRecords(int i, int root) const {
+    return i == root ? tree.recs[static_cast<size_t>(i)]
+                     : tree.recs[static_cast<size_t>(i)] - tree.weight[static_cast<size_t>(i)];
+  }
+
+  void Split(Component comp, int level) {
+    max_level = std::max(max_level, level);
+    int64_t num_versions = static_cast<int64_t>(comp.nodes.size());
+    int64_t records = 0;
+    int64_t edges = 0;
+    for (int i : comp.nodes) {
+      records += NewRecords(i, comp.root);
+      edges += tree.recs[static_cast<size_t>(i)];
+    }
+    // Termination test of Algorithm 1 line 1.
+    if (static_cast<double>(records) * static_cast<double>(num_versions) <
+        static_cast<double>(edges) / delta) {
+      out.push_back(std::move(comp));
+      return;
+    }
+    if (comp.nodes.size() == 1) {  // cannot split further
+      out.push_back(std::move(comp));
+      return;
+    }
+
+    // Subtree statistics within the component (iterative post-order).
+    std::vector<char> in_comp(tree.vid.size(), 0);
+    for (int i : comp.nodes) in_comp[static_cast<size_t>(i)] = 1;
+    std::vector<int64_t> sub_count(tree.vid.size(), 0);
+    std::vector<int64_t> sub_new(tree.vid.size(), 0);
+    // comp.nodes was built by DFS from the root, so reverse order is a
+    // valid post-order for accumulation.
+    for (auto it = comp.nodes.rbegin(); it != comp.nodes.rend(); ++it) {
+      int i = *it;
+      int64_t count = 1;
+      int64_t fresh = NewRecords(i, comp.root);
+      for (int c : tree.children[static_cast<size_t>(i)]) {
+        if (!in_comp[static_cast<size_t>(c)]) continue;
+        count += sub_count[static_cast<size_t>(c)];
+        fresh += sub_new[static_cast<size_t>(c)];
+      }
+      sub_count[static_cast<size_t>(i)] = count;
+      sub_new[static_cast<size_t>(i)] = fresh;
+    }
+
+    // Candidate edges: Ω = { (p, i) : w <= δ|R| } (Algorithm 1 line 5),
+    // with the paper's pick rule: minimize version imbalance, then
+    // record imbalance. Fall back to the min-weight edge if Ω is
+    // empty (possible on DAG-converted trees).
+    // Cutting a saturated edge (w == |R(child)|: the child adds no
+    // records beyond its parent) duplicates the child's full record
+    // set for no storage relief, so such edges — e.g. the copy chains
+    // of the weighted construction (C.2) — are only used when nothing
+    // else qualifies.
+    int best = -1;
+    bool best_saturated = true;
+    int64_t best_vdiff = 0;
+    int64_t best_rdiff = 0;
+    int64_t min_weight_node = -1;
+    int64_t min_weight = 0;
+    double weight_cap = delta * static_cast<double>(records);
+    for (int i : comp.nodes) {
+      if (i == comp.root) continue;
+      int64_t w = tree.weight[static_cast<size_t>(i)];
+      if (min_weight_node < 0 || w < min_weight) {
+        min_weight_node = i;
+        min_weight = w;
+      }
+      if (static_cast<double>(w) > weight_cap) continue;
+      bool saturated = w >= tree.recs[static_cast<size_t>(i)];
+      // Side 1: the subtree under i (i becomes its root, regaining its
+      // shared records). Side 2: the rest.
+      int64_t v1 = sub_count[static_cast<size_t>(i)];
+      int64_t r1 = sub_new[static_cast<size_t>(i)] + w;
+      int64_t v2 = num_versions - v1;
+      int64_t r2 = records - sub_new[static_cast<size_t>(i)];
+      int64_t vdiff = std::llabs(v1 - v2);
+      int64_t rdiff = std::llabs(r1 - r2);
+      bool better;
+      if (best < 0) {
+        better = true;
+      } else if (saturated != best_saturated) {
+        better = !saturated;  // unsaturated edges take precedence
+      } else {
+        better = vdiff < best_vdiff ||
+                 (vdiff == best_vdiff && rdiff < best_rdiff);
+      }
+      if (better) {
+        best = i;
+        best_saturated = saturated;
+        best_vdiff = vdiff;
+        best_rdiff = rdiff;
+      }
+    }
+    if (best < 0) best = static_cast<int>(min_weight_node);
+    if (best < 0) {  // single root: emit as-is
+      out.push_back(std::move(comp));
+      return;
+    }
+
+    // Partition the node list into the subtree of `best` vs the rest.
+    std::vector<char> in_sub(tree.vid.size(), 0);
+    std::vector<int> stack = {best};
+    Component side1;
+    side1.root = best;
+    while (!stack.empty()) {
+      int i = stack.back();
+      stack.pop_back();
+      in_sub[static_cast<size_t>(i)] = 1;
+      side1.nodes.push_back(i);
+      for (int c : tree.children[static_cast<size_t>(i)]) {
+        if (in_comp[static_cast<size_t>(c)]) stack.push_back(c);
+      }
+    }
+    Component side2;
+    side2.root = comp.root;
+    for (int i : comp.nodes) {
+      if (!in_sub[static_cast<size_t>(i)]) side2.nodes.push_back(i);
+    }
+    Split(std::move(side2), level + 1);
+    Split(std::move(side1), level + 1);
+  }
+};
+
+// DFS order from `root` (parents before children) for component seeds.
+std::vector<int> DfsOrder(const TreeNodes& tree, int root) {
+  std::vector<int> order;
+  std::vector<int> stack = {root};
+  while (!stack.empty()) {
+    int i = stack.back();
+    stack.pop_back();
+    order.push_back(i);
+    for (int c : tree.children[static_cast<size_t>(i)]) stack.push_back(c);
+  }
+  return order;
+}
+
+Result<LyreSplitResult> RunOnTree(const TreeNodes& tree, double delta) {
+  if (delta <= 0 || delta > 1) {
+    return Status::InvalidArgument("delta must be in (0, 1]");
+  }
+  Recurser rec{tree, delta, {}, 0};
+  for (size_t i = 0; i < tree.vid.size(); ++i) {
+    if (tree.parent[i] != -1) continue;
+    Component comp;
+    comp.root = static_cast<int>(i);
+    comp.nodes = DfsOrder(tree, comp.root);
+    rec.Split(std::move(comp), 0);
+  }
+  LyreSplitResult result;
+  result.delta = delta;
+  result.levels = rec.max_level;
+  int64_t weighted = 0;
+  for (const Component& comp : rec.out) {
+    std::vector<VersionId> group;
+    group.reserve(comp.nodes.size());
+    int64_t records = 0;
+    for (int i : comp.nodes) {
+      group.push_back(tree.vid[static_cast<size_t>(i)]);
+      records += rec.NewRecords(i, comp.root);
+    }
+    result.partitioning.groups.push_back(std::move(group));
+    result.partitioning.partition_records.push_back(records);
+    result.estimated_storage += records;
+    weighted += records * static_cast<int64_t>(comp.nodes.size());
+  }
+  result.estimated_checkout =
+      tree.vid.empty() ? 0.0
+                       : static_cast<double>(weighted) /
+                             static_cast<double>(tree.vid.size());
+  result.partitioning.storage_cost = result.estimated_storage;
+  result.partitioning.avg_checkout_cost = result.estimated_checkout;
+  return result;
+}
+
+Result<TreeNodes> TreeFor(const VersionGraph& graph) {
+  if (graph.IsTree()) return TreeNodes::FromGraph(graph);
+  int64_t duplicated = 0;
+  VersionGraph tree = graph.ToTree(&duplicated);
+  return TreeNodes::FromGraph(tree);
+}
+
+}  // namespace
+
+Result<LyreSplitResult> LyreSplit::Run(const core::VersionGraph& graph,
+                                       double delta) {
+  ORPHEUS_ASSIGN_OR_RETURN(TreeNodes tree, TreeFor(graph));
+  return RunOnTree(tree, delta);
+}
+
+Result<int64_t> LyreSplit::TreeModelRecords(const core::VersionGraph& graph) {
+  ORPHEUS_ASSIGN_OR_RETURN(TreeNodes tree, TreeFor(graph));
+  int64_t records = 0;
+  for (size_t i = 0; i < tree.vid.size(); ++i) {
+    records += tree.parent[i] == -1 ? tree.recs[i] : tree.recs[i] - tree.weight[i];
+  }
+  return records;
+}
+
+Result<LyreSplitResult> LyreSplit::RunForBudget(const core::VersionGraph& graph,
+                                                int64_t gamma) {
+  ORPHEUS_ASSIGN_OR_RETURN(TreeNodes tree, TreeFor(graph));
+  // Tree-model |R|, |V|, |E| for the search bounds.
+  int64_t records = 0;
+  int64_t edges = 0;
+  for (size_t i = 0; i < tree.vid.size(); ++i) {
+    records += tree.parent[i] == -1 ? tree.recs[i] : tree.recs[i] - tree.weight[i];
+    edges += tree.recs[i];
+  }
+  int64_t num_versions = static_cast<int64_t>(tree.vid.size());
+  if (num_versions == 0) return Status::InvalidArgument("empty version graph");
+  if (gamma < records) {
+    return Status::InvalidArgument(
+        "storage threshold below minimum storage |R| = " + std::to_string(records));
+  }
+
+  double lo = static_cast<double>(edges) /
+              (static_cast<double>(records) * static_cast<double>(num_versions));
+  lo = std::min(lo, 1.0);
+  double hi = 1.0;
+  Result<LyreSplitResult> best = Status::Internal("no feasible partitioning");
+  int iterations = 0;
+  for (; iterations < 60; ++iterations) {
+    double mid = 0.5 * (lo + hi);
+    ORPHEUS_ASSIGN_OR_RETURN(LyreSplitResult attempt, RunOnTree(tree, mid));
+    int64_t s = attempt.estimated_storage;
+    if (s <= gamma) {
+      if (!best.ok() || attempt.estimated_checkout <
+                            best.value().estimated_checkout) {
+        attempt.search_iterations = iterations + 1;
+        best = std::move(attempt);
+      }
+      if (s >= static_cast<int64_t>(0.99 * static_cast<double>(gamma))) break;
+      lo = mid;  // more splitting allowed: raise δ
+    } else {
+      hi = mid;  // over budget: lower δ
+    }
+    if (hi - lo < 1e-9) break;
+  }
+  if (!best.ok()) {
+    // δ at the lower bound keeps everything in one partition, which is
+    // feasible whenever gamma >= |R|.
+    ORPHEUS_ASSIGN_OR_RETURN(LyreSplitResult fallback, RunOnTree(tree, lo));
+    fallback.search_iterations = iterations;
+    return fallback;
+  }
+  return best;
+}
+
+Result<LyreSplitResult> LyreSplit::RunWeighted(
+    const core::VersionGraph& graph,
+    const std::map<core::VersionId, int64_t>& frequency, double delta) {
+  ORPHEUS_ASSIGN_OR_RETURN(TreeNodes tree, TreeFor(graph));
+  // Expand each version vi into a chain of f_i copies; copies share
+  // all records (edge weight |R(vi)|), and the child's first copy
+  // hangs off the parent's last copy with the original weight.
+  core::VersionGraph expanded;
+  std::map<VersionId, std::pair<VersionId, VersionId>> span;  // vid -> [first,last]
+  std::map<VersionId, VersionId> copy_to_original;
+  VersionId next_id = 1;
+  for (size_t i = 0; i < tree.vid.size(); ++i) {
+    VersionId vid = tree.vid[i];
+    auto fit = frequency.find(vid);
+    int64_t f = fit == frequency.end() ? 1 : std::max<int64_t>(1, fit->second);
+    VersionId first = next_id;
+    for (int64_t c = 0; c < f; ++c) {
+      VersionId id = next_id++;
+      copy_to_original[id] = vid;
+      if (c == 0) {
+        if (tree.parent[i] == -1) {
+          ORPHEUS_RETURN_NOT_OK(expanded.AddVersion(id, {}, {}, tree.recs[i]));
+        } else {
+          VersionId parent_last = span.at(tree.vid[static_cast<size_t>(tree.parent[i])]).second;
+          ORPHEUS_RETURN_NOT_OK(expanded.AddVersion(id, {parent_last},
+                                                    {tree.weight[i]}, tree.recs[i]));
+        }
+      } else {
+        ORPHEUS_RETURN_NOT_OK(
+            expanded.AddVersion(id, {id - 1}, {tree.recs[i]}, tree.recs[i]));
+      }
+    }
+    span[vid] = {first, next_id - 1};
+  }
+
+  ORPHEUS_ASSIGN_OR_RETURN(TreeNodes expanded_tree,
+                           TreeNodes::FromGraph(expanded));
+  ORPHEUS_ASSIGN_OR_RETURN(LyreSplitResult raw, RunOnTree(expanded_tree, delta));
+
+  // Post-process: place each original version in the smallest
+  // partition (by record estimate) among those holding its copies.
+  std::map<VersionId, size_t> chosen;
+  for (size_t k = 0; k < raw.partitioning.groups.size(); ++k) {
+    for (VersionId copy : raw.partitioning.groups[k]) {
+      VersionId orig = copy_to_original.at(copy);
+      auto it = chosen.find(orig);
+      if (it == chosen.end() ||
+          raw.partitioning.partition_records[k] <
+              raw.partitioning.partition_records[it->second]) {
+        chosen[orig] = k;
+      }
+    }
+  }
+  LyreSplitResult result;
+  result.delta = delta;
+  result.levels = raw.levels;
+  result.partitioning.groups.resize(raw.partitioning.groups.size());
+  for (const auto& [vid, k] : chosen) {
+    result.partitioning.groups[k].push_back(vid);
+  }
+  // Drop empty groups.
+  auto& groups = result.partitioning.groups;
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const std::vector<VersionId>& g) {
+                                return g.empty();
+                              }),
+               groups.end());
+  result.estimated_storage = raw.estimated_storage;
+  result.estimated_checkout = raw.estimated_checkout;
+  return result;
+}
+
+}  // namespace orpheus::part

@@ -1,0 +1,75 @@
+// Online maintenance of partitions (§4.3).
+//
+// As versions stream in, each new version either joins its
+// max-overlap parent's partition or opens a new partition (the same
+// trade-off intuition as LYRESPLIT: if w(vi, vj) <= δ* |R| and
+// S < γ, split off). After every commit the maintainer re-runs
+// LYRESPLIT to obtain the current best checkout cost C*avg; when the
+// live cost exceeds µ · C*avg, the migration engine reorganizes the
+// partitions (intelligent matching or naive rebuild).
+
+#ifndef ORPHEUS_PARTITION_ONLINE_H_
+#define ORPHEUS_PARTITION_ONLINE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/version_graph.h"
+#include "partition/lyresplit.h"
+#include "partition/partition_store.h"
+
+namespace orpheus::part {
+
+struct OnlineOptions {
+  int64_t gamma = 0;         // storage threshold, in records
+  double gamma_factor = 0;   // alternative: gamma = factor * |R| (live)
+  double mu = 1.5;           // tolerance factor on Cavg / C*avg
+  double delta_star = 0.5;   // last LYRESPLIT δ; updated on migration
+  bool intelligent_migration = true;
+};
+
+// One committed version, as the maintainer sees it.
+struct VersionArrival {
+  core::VersionId vid;
+  std::vector<core::VersionId> parents;
+  std::vector<int64_t> parent_weights;  // shared records with each parent
+  std::vector<RecordId> rids;           // full record list of the version
+};
+
+struct OnlineStep {
+  double cavg = 0.0;       // live checkout cost after placement
+  double cavg_best = 0.0;  // C*avg from LYRESPLIT
+  int64_t storage = 0;     // live S
+  bool opened_partition = false;
+  bool migrated = false;
+  PartitionStore::MigrationStats migration;
+};
+
+class OnlineMaintainer {
+ public:
+  OnlineMaintainer(PartitionStore* store, OnlineOptions options)
+      : store_(store), options_(options) {}
+
+  // Processes one committed version; may trigger a migration.
+  Result<OnlineStep> OnVersionCommitted(const VersionArrival& arrival);
+
+  const core::VersionGraph& graph() const { return graph_; }
+  int64_t total_records() const {
+    return static_cast<int64_t>(all_records_.size());
+  }
+  const OnlineOptions& options() const { return options_; }
+
+ private:
+  int64_t EffectiveGamma() const;
+
+  PartitionStore* store_;
+  OnlineOptions options_;
+  core::VersionGraph graph_;
+  std::unordered_set<RecordId> all_records_;  // |R| tracker
+};
+
+}  // namespace orpheus::part
+
+#endif  // ORPHEUS_PARTITION_ONLINE_H_

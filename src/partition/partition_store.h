@@ -1,0 +1,115 @@
+// PartitionStore: the physical side of the partition optimizer.
+//
+// Materializes a Partitioning of a split-by-rlist CVD as real table
+// pairs <cvd>_p<id>_data / <cvd>_p<id>_rlist inside the backing
+// database, so that checking out a version touches exactly one
+// partition's tables (§4.1's single-partition-per-version invariant).
+//
+// Also implements the migration engine of §4.3: `Migrate` transforms
+// the current physical layout into a new partitioning either naively
+// (drop + rebuild) or intelligently (match each new partition to its
+// closest existing partition by modification cost and apply row-level
+// inserts/deletes).
+
+#ifndef ORPHEUS_PARTITION_PARTITION_STORE_H_
+#define ORPHEUS_PARTITION_PARTITION_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/bipartite.h"
+#include "relstore/database.h"
+
+namespace orpheus::part {
+
+class PartitionStore {
+ public:
+  // `source_data_table` is the CVD's unpartitioned data table (rid +
+  // data attributes, indexed on rid); it remains the record source for
+  // building partitions and migrations.
+  PartitionStore(rel::Database* db, std::string cvd_name,
+                 std::string source_data_table);
+  ~PartitionStore();
+
+  PartitionStore(const PartitionStore&) = delete;
+  PartitionStore& operator=(const PartitionStore&) = delete;
+
+  // Materializes `partitioning`; `version_rids` supplies each
+  // version's record list (it is retained for later online updates
+  // and migrations — the in-memory mirror of the versioning table).
+  Status Build(const Partitioning& partitioning,
+               std::map<VersionId, std::vector<RecordId>> version_rids);
+
+  // Single-version checkout against the owning partition's tables
+  // (same SQL shape as split-by-rlist checkout in Table 1).
+  Status CheckoutVersion(VersionId vid, const std::string& table_name);
+
+  // {data table, versioning table} backing `vid` (for the query
+  // translator override).
+  Result<std::pair<std::string, std::string>> TablesFor(VersionId vid) const;
+
+  // --- Online maintenance hooks (§4.3) --------------------------------
+
+  // Appends a freshly committed version to an existing partition.
+  Status AddVersionToPartition(VersionId vid, size_t partition,
+                               const std::vector<RecordId>& rids);
+  // Creates a new partition holding only `vid`. Returns its index.
+  Result<size_t> AddVersionAsNewPartition(VersionId vid,
+                                          const std::vector<RecordId>& rids);
+
+  Result<size_t> PartitionOf(VersionId vid) const;
+
+  // --- Migration (§4.3) ------------------------------------------------
+
+  struct MigrationStats {
+    double seconds = 0.0;
+    int64_t rows_inserted = 0;
+    int64_t rows_deleted = 0;
+    int partitions_rebuilt = 0;   // built from scratch
+    int partitions_modified = 0;  // transformed in place
+  };
+
+  Result<MigrationStats> Migrate(const Partitioning& new_partitioning,
+                                 bool intelligent);
+
+  // --- Cost accounting ---------------------------------------------------
+
+  int64_t StorageRecords() const;   // S = sum |Rk|
+  double AvgCheckoutCost() const;   // Cavg = sum |Vk||Rk| / n
+  size_t num_partitions() const { return parts_.size(); }
+  size_t num_versions() const { return vid_to_part_.size(); }
+
+  // Drops all partition tables and clears state.
+  Status DropAll();
+
+ private:
+  struct Phys {
+    std::string data_table;
+    std::string rlist_table;
+    std::unordered_set<RecordId> records;
+    std::vector<VersionId> versions;
+  };
+
+  Result<Phys> CreatePhys();
+  // Appends the given records (fetched from the source data table by
+  // rid) to a partition's data table.
+  Status InsertRecords(Phys* phys, const std::vector<RecordId>& rids);
+  Status AppendRlistRow(Phys* phys, VersionId vid,
+                        const std::vector<RecordId>& rids);
+
+  rel::Database* db_;
+  std::string cvd_name_;
+  std::string source_data_table_;
+  std::vector<Phys> parts_;
+  std::map<VersionId, size_t> vid_to_part_;
+  std::map<VersionId, std::vector<RecordId>> version_rids_;
+  int next_phys_id_ = 0;
+};
+
+}  // namespace orpheus::part
+
+#endif  // ORPHEUS_PARTITION_PARTITION_STORE_H_

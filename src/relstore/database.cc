@@ -1,0 +1,287 @@
+#include "relstore/database.h"
+
+#include <utility>
+
+#include "relstore/eval.h"
+#include "relstore/parser.h"
+
+namespace orpheus::rel {
+
+Result<Chunk> Database::Execute(std::string_view sql) {
+  ORPHEUS_ASSIGN_OR_RETURN(auto stmt, ParseSql(sql));
+  return ExecuteStatement(stmt.get());
+}
+
+Result<Chunk> Database::ExecuteScript(std::string_view script) {
+  Chunk last;
+  size_t start = 0;
+  while (start < script.size()) {
+    // Split on ';' outside string literals.
+    size_t i = start;
+    bool in_string = false;
+    while (i < script.size()) {
+      if (script[i] == '\'') in_string = !in_string;
+      if (script[i] == ';' && !in_string) break;
+      ++i;
+    }
+    std::string_view piece = script.substr(start, i - start);
+    start = i + 1;
+    bool all_space = true;
+    for (char c : piece) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        all_space = false;
+        break;
+      }
+    }
+    if (all_space) continue;
+    ORPHEUS_ASSIGN_OR_RETURN(last, Execute(piece));
+  }
+  return last;
+}
+
+Status Database::CreateTable(const std::string& name, Schema schema,
+                             std::vector<std::string> primary_key) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema),
+                                       std::move(primary_key));
+  // Physical primary-key index on single-column INT keys, as the
+  // paper builds on rid / vid.
+  if (table->primary_key().size() == 1) {
+    int col = table->schema().FindColumn(table->primary_key()[0]);
+    if (col >= 0 && table->schema().column(col).type == DataType::kInt64) {
+      ORPHEUS_RETURN_NOT_OK(table->DeclareIndex(table->primary_key()[0]));
+    }
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name, bool if_exists) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("no such table: " + name);
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Database::AdoptTable(const std::string& name, Chunk chunk,
+                            std::vector<std::string> primary_key) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  ORPHEUS_RETURN_NOT_OK(CreateTable(name, chunk.schema(), std::move(primary_key)));
+  tables_[name]->mutable_chunk() = std::move(chunk);
+  return Status::OK();
+}
+
+int64_t Database::TotalByteSize() const {
+  int64_t bytes = 0;
+  for (const auto& [name, table] : tables_) {
+    bytes += table->ByteSize() + table->IndexByteSize();
+  }
+  return bytes;
+}
+
+Result<Chunk> Database::ExecuteStatement(Statement* stmt) {
+  switch (stmt->kind) {
+    case Statement::Kind::kSelect: {
+      Executor executor(this);
+      ORPHEUS_ASSIGN_OR_RETURN(Chunk out, executor.RunSelect(*stmt->select));
+      // Prefer unqualified output names when unambiguous.
+      Schema plain = out.schema().Unqualified();
+      bool unique = true;
+      for (int i = 0; i < plain.num_columns() && unique; ++i) {
+        for (int j = i + 1; j < plain.num_columns(); ++j) {
+          if (plain.column(i).name == plain.column(j).name) {
+            unique = false;
+            break;
+          }
+        }
+      }
+      if (unique) {
+        Chunk renamed(plain);
+        for (int c = 0; c < out.num_columns(); ++c) {
+          renamed.mutable_column(c) = std::move(out.mutable_column(c));
+        }
+        out = std::move(renamed);
+      }
+      if (!stmt->select->into_table.empty()) {
+        ORPHEUS_RETURN_NOT_OK(AdoptTable(stmt->select->into_table, std::move(out)));
+        return Chunk();
+      }
+      return out;
+    }
+    case Statement::Kind::kInsert:
+      return ExecuteInsert(stmt);
+    case Statement::Kind::kUpdate:
+      return ExecuteUpdate(stmt);
+    case Statement::Kind::kDelete:
+      return ExecuteDelete(stmt);
+    case Statement::Kind::kCreateTable: {
+      if (stmt->if_not_exists && HasTable(stmt->table)) return Chunk();
+      Schema schema(stmt->column_defs);
+      ORPHEUS_RETURN_NOT_OK(CreateTable(stmt->table, std::move(schema),
+                                        stmt->primary_key));
+      return Chunk();
+    }
+    case Statement::Kind::kDropTable:
+      ORPHEUS_RETURN_NOT_OK(DropTable(stmt->table, stmt->if_exists));
+      return Chunk();
+    case Statement::Kind::kCreateIndex: {
+      ORPHEUS_ASSIGN_OR_RETURN(Table * table, GetTable(stmt->table));
+      ORPHEUS_RETURN_NOT_OK(table->DeclareIndex(stmt->index_column));
+      return Chunk();
+    }
+    case Statement::Kind::kClusterBy: {
+      ORPHEUS_ASSIGN_OR_RETURN(Table * table, GetTable(stmt->table));
+      ORPHEUS_RETURN_NOT_OK(table->ClusterBy(stmt->index_column));
+      return Chunk();
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<Chunk> Database::ExecuteInsert(Statement* stmt) {
+  ORPHEUS_ASSIGN_OR_RETURN(Table * table, GetTable(stmt->table));
+  const Schema& schema = table->schema();
+
+  // Map the statement's column list (or full schema) to positions.
+  std::vector<int> positions;
+  if (stmt->columns.empty()) {
+    positions.resize(static_cast<size_t>(schema.num_columns()));
+    for (int i = 0; i < schema.num_columns(); ++i) positions[static_cast<size_t>(i)] = i;
+  } else {
+    for (const std::string& col : stmt->columns) {
+      int pos = schema.FindColumn(col);
+      if (pos < 0) {
+        return Status::NotFound("no column " + col + " in " + stmt->table);
+      }
+      positions.push_back(pos);
+    }
+  }
+
+  if (stmt->insert_select != nullptr) {
+    Executor executor(this);
+    ORPHEUS_ASSIGN_OR_RETURN(Chunk rows, executor.RunSelect(*stmt->insert_select));
+    if (rows.num_columns() != static_cast<int>(positions.size())) {
+      return Status::InvalidArgument("INSERT ... SELECT arity mismatch");
+    }
+    Chunk& dst = table->mutable_chunk();
+    size_t n = rows.num_rows();
+    std::vector<uint32_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = static_cast<uint32_t>(i);
+    if (stmt->columns.empty()) {
+      dst.GatherFrom(rows, all);
+    } else {
+      return Status::NotSupported(
+          "INSERT ... SELECT with explicit columns is not supported");
+    }
+    return Chunk();
+  }
+
+  Executor executor(this);
+  Evaluator eval(&executor);
+  Schema empty;
+  Chunk dummy(empty);
+  for (std::vector<ExprPtr>& row : stmt->values) {
+    if (row.size() != positions.size()) {
+      return Status::InvalidArgument("INSERT row arity mismatch");
+    }
+    std::vector<Value> values(static_cast<size_t>(schema.num_columns()));
+    for (size_t i = 0; i < row.size(); ++i) {
+      ORPHEUS_RETURN_NOT_OK(eval.Bind(row[i].get(), empty));
+      ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*row[i], dummy, 0));
+      values[static_cast<size_t>(positions[i])] = std::move(v);
+    }
+    ORPHEUS_RETURN_NOT_OK(table->AppendRow(values));
+  }
+  return Chunk();
+}
+
+Result<Chunk> Database::ExecuteUpdate(Statement* stmt) {
+  ORPHEUS_ASSIGN_OR_RETURN(Table * table, GetTable(stmt->table));
+  const Schema& schema = table->schema();
+  Executor executor(this);
+  Evaluator eval(&executor);
+
+  std::vector<int> target_cols;
+  for (auto& [col, expr] : stmt->assignments) {
+    int pos = schema.FindColumn(col);
+    if (pos < 0) return Status::NotFound("no column " + col + " in " + stmt->table);
+    target_cols.push_back(pos);
+    ORPHEUS_RETURN_NOT_OK(eval.Bind(expr.get(), schema));
+  }
+  if (stmt->where != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(eval.Bind(stmt->where.get(), schema));
+  }
+
+  Chunk& data = table->mutable_chunk();
+  int64_t updated = 0;
+  for (size_t row = 0; row < data.num_rows(); ++row) {
+    if (stmt->where != nullptr) {
+      ORPHEUS_ASSIGN_OR_RETURN(bool ok, eval.EvalPredicate(*stmt->where, data, row));
+      if (!ok) continue;
+    }
+    // Evaluate all assignments against the pre-update row first.
+    std::vector<Value> new_values;
+    new_values.reserve(stmt->assignments.size());
+    for (auto& [col, expr] : stmt->assignments) {
+      ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*expr, data, row));
+      new_values.push_back(std::move(v));
+    }
+    for (size_t a = 0; a < target_cols.size(); ++a) {
+      data.mutable_column(target_cols[a]).Set(row, new_values[a]);
+    }
+    ++updated;
+  }
+  stats_.rows_scanned += static_cast<int64_t>(data.num_rows());
+  stats_.pages_read += table->num_pages();
+  (void)updated;
+  return Chunk();
+}
+
+Result<Chunk> Database::ExecuteDelete(Statement* stmt) {
+  ORPHEUS_ASSIGN_OR_RETURN(Table * table, GetTable(stmt->table));
+  Executor executor(this);
+  Evaluator eval(&executor);
+  if (stmt->where != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(eval.Bind(stmt->where.get(), table->schema()));
+  }
+  Chunk& data = table->mutable_chunk();
+  std::vector<bool> keep(data.num_rows(), true);
+  for (size_t row = 0; row < data.num_rows(); ++row) {
+    if (stmt->where == nullptr) {
+      keep[row] = false;
+      continue;
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(bool ok, eval.EvalPredicate(*stmt->where, data, row));
+    keep[row] = !ok;
+  }
+  data.FilterRows(keep);
+  stats_.rows_scanned += static_cast<int64_t>(keep.size());
+  stats_.pages_read += table->num_pages();
+  return Chunk();
+}
+
+}  // namespace orpheus::rel

@@ -1,0 +1,78 @@
+// Database: the catalog plus the SQL entry point. This is the whole
+// "unaware RDBMS" surface that OrpheusDB talks to — the middleware
+// sends SQL text in, gets row chunks back, and the engine has no
+// notion of versions.
+
+#ifndef ORPHEUS_RELSTORE_DATABASE_H_
+#define ORPHEUS_RELSTORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relstore/executor.h"
+#include "relstore/table.h"
+
+namespace orpheus::rel {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- SQL entry point ----------------------------------------------
+
+  // Parses and executes one statement. SELECT returns its rows;
+  // SELECT INTO and DML return an empty chunk.
+  Result<Chunk> Execute(std::string_view sql);
+
+  // Executes semicolon-separated statements, returning the last
+  // statement's result.
+  Result<Chunk> ExecuteScript(std::string_view script);
+
+  // --- Direct catalog access (used by the middleware for bulk paths
+  // --- and by tests; equivalent to what COPY would be in Postgres) ---
+
+  Status CreateTable(const std::string& name, Schema schema,
+                     std::vector<std::string> primary_key = {});
+  Status DropTable(const std::string& name, bool if_exists = false);
+  bool HasTable(const std::string& name) const;
+  Result<Table*> GetTable(const std::string& name);
+  std::vector<std::string> ListTables() const;
+
+  // Registers a materialized chunk as a new table (zero-copy INTO).
+  Status AdoptTable(const std::string& name, Chunk chunk,
+                    std::vector<std::string> primary_key = {});
+
+  // --- Settings and observability ------------------------------------
+
+  JoinMethod join_method() const { return join_method_; }
+  void set_join_method(JoinMethod method) { join_method_ = method; }
+
+  ExecStats* stats() { return &stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Total payload bytes across tables (+ index estimate), as the
+  // paper's storage-size metric counts them.
+  int64_t TotalByteSize() const;
+
+ private:
+  friend class Executor;
+
+  Result<Chunk> ExecuteStatement(Statement* stmt);
+  Result<Chunk> ExecuteInsert(Statement* stmt);
+  Result<Chunk> ExecuteUpdate(Statement* stmt);
+  Result<Chunk> ExecuteDelete(Statement* stmt);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  JoinMethod join_method_ = JoinMethod::kHash;
+  ExecStats stats_;
+};
+
+}  // namespace orpheus::rel
+
+#endif  // ORPHEUS_RELSTORE_DATABASE_H_

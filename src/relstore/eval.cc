@@ -1,0 +1,308 @@
+#include "relstore/eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "relstore/executor.h"
+
+namespace orpheus::rel {
+
+Status Evaluator::Bind(Expr* expr, const Schema& schema) {
+  switch (expr->kind) {
+    case ExprKind::kColumnRef: {
+      ORPHEUS_ASSIGN_OR_RETURN(expr->bound_col, schema.Resolve(expr->column));
+      return Status::OK();
+    }
+    case ExprKind::kInSubquery: {
+      ORPHEUS_RETURN_NOT_OK(Bind(expr->args[0].get(), schema));
+      if (executor_ == nullptr) {
+        return Status::Internal("subquery evaluation requires an executor");
+      }
+      ORPHEUS_ASSIGN_OR_RETURN(Chunk result, executor_->RunSelect(*expr->subquery));
+      if (result.num_columns() != 1) {
+        return Status::InvalidArgument("IN subquery must return one column");
+      }
+      const Column& col = result.column(0);
+      if (col.type() == DataType::kInt64) {
+        std::unordered_set<int64_t>& set = in_int_sets_[expr];
+        set.clear();
+        set.reserve(col.size() * 2);
+        for (int64_t v : col.ints()) set.insert(v);
+      } else {
+        std::vector<Value>& values = in_value_lists_[expr];
+        values.clear();
+        values.reserve(col.size());
+        for (size_t i = 0; i < col.size(); ++i) values.push_back(col.Get(i));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kArraySubquery: {
+      if (executor_ == nullptr) {
+        return Status::Internal("subquery evaluation requires an executor");
+      }
+      ORPHEUS_ASSIGN_OR_RETURN(Chunk result, executor_->RunSelect(*expr->subquery));
+      if (result.num_columns() != 1 ||
+          result.column(0).type() != DataType::kInt64) {
+        return Status::InvalidArgument(
+            "ARRAY(subquery) must return one INT column");
+      }
+      array_subqueries_[expr] = Value::Array(result.column(0).ints());
+      return Status::OK();
+    }
+    default:
+      for (ExprPtr& arg : expr->args) {
+        ORPHEUS_RETURN_NOT_OK(Bind(arg.get(), schema));
+      }
+      return Status::OK();
+  }
+}
+
+Result<Value> Evaluator::Eval(const Expr& expr, const Chunk& chunk, size_t row) const {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef:
+      if (expr.bound_col < 0) {
+        return Status::Internal("unbound column reference: " + expr.column);
+      }
+      return chunk.Get(row, expr.bound_col);
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is not a scalar expression");
+    case ExprKind::kBinary:
+      return EvalBinary(expr, chunk, row);
+    case ExprKind::kUnary: {
+      ORPHEUS_ASSIGN_OR_RETURN(Value v, Eval(*expr.args[0], chunk, row));
+      if (expr.un_op == UnOp::kNot) {
+        if (v.is_null()) return Value::Null();
+        return Value::Bool(!v.AsBool());
+      }
+      if (v.is_null()) return Value::Null();
+      if (v.type() == DataType::kInt64) return Value::Int(-v.AsInt());
+      return Value::Double(-v.AsDouble());
+    }
+    case ExprKind::kFunc:
+      return EvalFunc(expr, chunk, row);
+    case ExprKind::kArrayLiteral: {
+      IntArray out;
+      out.reserve(expr.args.size());
+      for (const ExprPtr& arg : expr.args) {
+        ORPHEUS_ASSIGN_OR_RETURN(Value v, Eval(*arg, chunk, row));
+        if (v.type() != DataType::kInt64) {
+          return Status::InvalidArgument("ARRAY[...] elements must be INT");
+        }
+        out.push_back(v.AsInt());
+      }
+      return Value::Array(std::move(out));
+    }
+    case ExprKind::kArraySubquery: {
+      auto it = array_subqueries_.find(&expr);
+      if (it == array_subqueries_.end()) {
+        return Status::Internal("ARRAY subquery was not bound");
+      }
+      return it->second;
+    }
+    case ExprKind::kInSubquery: {
+      ORPHEUS_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.args[0], chunk, row));
+      if (lhs.is_null()) return Value::Bool(false);
+      auto iit = in_int_sets_.find(&expr);
+      if (iit != in_int_sets_.end()) {
+        if (lhs.type() != DataType::kInt64) return Value::Bool(false);
+        return Value::Bool(iit->second.count(lhs.AsInt()) > 0);
+      }
+      auto vit = in_value_lists_.find(&expr);
+      if (vit == in_value_lists_.end()) {
+        return Status::Internal("IN subquery was not bound");
+      }
+      for (const Value& v : vit->second) {
+        if (lhs.Equals(v)) return Value::Bool(true);
+      }
+      return Value::Bool(false);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Value> Evaluator::EvalBinary(const Expr& expr, const Chunk& chunk,
+                                    size_t row) const {
+  const BinOp op = expr.bin_op;
+  // AND/OR get short-circuit evaluation.
+  if (op == BinOp::kAnd || op == BinOp::kOr) {
+    ORPHEUS_ASSIGN_OR_RETURN(Value l, Eval(*expr.args[0], chunk, row));
+    bool lb = !l.is_null() && l.AsBool();
+    if (op == BinOp::kAnd && !lb) return Value::Bool(false);
+    if (op == BinOp::kOr && lb) return Value::Bool(true);
+    ORPHEUS_ASSIGN_OR_RETURN(Value r, Eval(*expr.args[1], chunk, row));
+    bool rb = !r.is_null() && r.AsBool();
+    return Value::Bool(rb);
+  }
+
+  ORPHEUS_ASSIGN_OR_RETURN(Value l, Eval(*expr.args[0], chunk, row));
+  ORPHEUS_ASSIGN_OR_RETURN(Value r, Eval(*expr.args[1], chunk, row));
+
+  switch (op) {
+    case BinOp::kEq:
+      return Value::Bool(l.Equals(r));
+    case BinOp::kNe:
+      if (l.is_null() || r.is_null()) return Value::Bool(false);
+      return Value::Bool(!l.Equals(r));
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      if (l.is_null() || r.is_null()) return Value::Bool(false);
+      int cmp = l.Compare(r);
+      switch (op) {
+        case BinOp::kLt: return Value::Bool(cmp < 0);
+        case BinOp::kLe: return Value::Bool(cmp <= 0);
+        case BinOp::kGt: return Value::Bool(cmp > 0);
+        default: return Value::Bool(cmp >= 0);
+      }
+    }
+    case BinOp::kContains: {
+      // l <@ r: every element of l appears in r.
+      if (l.type() != DataType::kIntArray || r.type() != DataType::kIntArray) {
+        return Status::InvalidArgument("<@ expects INT[] operands");
+      }
+      const IntArray& needle = l.AsArray();
+      const IntArray& hay = r.AsArray();
+      for (int64_t v : needle) {
+        if (std::find(hay.begin(), hay.end(), v) == hay.end()) {
+          return Value::Bool(false);
+        }
+      }
+      return Value::Bool(true);
+    }
+    case BinOp::kConcat: {
+      if (l.type() == DataType::kString && r.type() == DataType::kString) {
+        return Value::String(l.AsString() + r.AsString());
+      }
+      if (l.type() == DataType::kIntArray && r.type() == DataType::kIntArray) {
+        IntArray out = l.AsArray();
+        const IntArray& rhs = r.AsArray();
+        out.insert(out.end(), rhs.begin(), rhs.end());
+        return Value::Array(std::move(out));
+      }
+      if (l.type() == DataType::kIntArray && r.type() == DataType::kInt64) {
+        IntArray out = l.AsArray();
+        out.push_back(r.AsInt());
+        return Value::Array(std::move(out));
+      }
+      return Status::InvalidArgument("|| expects strings or arrays");
+    }
+    case BinOp::kAdd: {
+      // PostgreSQL-intarray-style append: vlist + vid.
+      if (l.type() == DataType::kIntArray && r.type() == DataType::kInt64) {
+        IntArray out = l.AsArray();
+        out.push_back(r.AsInt());
+        return Value::Array(std::move(out));
+      }
+      if (l.type() == DataType::kIntArray && r.type() == DataType::kIntArray) {
+        IntArray out = l.AsArray();
+        const IntArray& rhs = r.AsArray();
+        out.insert(out.end(), rhs.begin(), rhs.end());
+        return Value::Array(std::move(out));
+      }
+      [[fallthrough]];
+    }
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod: {
+      if (l.is_null() || r.is_null()) return Value::Null();
+      if (!l.IsNumeric() || !r.IsNumeric()) {
+        return Status::InvalidArgument("arithmetic expects numeric operands");
+      }
+      if (l.type() == DataType::kInt64 && r.type() == DataType::kInt64) {
+        int64_t a = l.AsInt();
+        int64_t b = r.AsInt();
+        switch (op) {
+          case BinOp::kAdd: return Value::Int(a + b);
+          case BinOp::kSub: return Value::Int(a - b);
+          case BinOp::kMul: return Value::Int(a * b);
+          case BinOp::kDiv:
+            if (b == 0) return Status::InvalidArgument("division by zero");
+            return Value::Int(a / b);
+          case BinOp::kMod:
+            if (b == 0) return Status::InvalidArgument("division by zero");
+            return Value::Int(a % b);
+          default: break;
+        }
+      }
+      double a = l.AsDouble();
+      double b = r.AsDouble();
+      switch (op) {
+        case BinOp::kAdd: return Value::Double(a + b);
+        case BinOp::kSub: return Value::Double(a - b);
+        case BinOp::kMul: return Value::Double(a * b);
+        case BinOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          return Value::Double(a / b);
+        case BinOp::kMod:
+          return Status::InvalidArgument("%% expects integers");
+        default: break;
+      }
+      return Status::Internal("unhandled arithmetic op");
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+Result<Value> Evaluator::EvalFunc(const Expr& expr, const Chunk& chunk,
+                                  size_t row) const {
+  const std::string& name = expr.func_name;
+  if (name == "unnest") {
+    return Status::InvalidArgument(
+        "unnest() is only supported at the top level of a select list");
+  }
+  if (expr.IsAggregate()) {
+    return Status::InvalidArgument(
+        "aggregate " + name + "() used outside an aggregating query");
+  }
+  if (name == "array_length" || name == "cardinality") {
+    if (expr.args.empty()) {
+      return Status::InvalidArgument(name + " expects an array argument");
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(Value v, Eval(*expr.args[0], chunk, row));
+    if (v.type() != DataType::kIntArray) {
+      return Status::InvalidArgument(name + " expects an INT[] argument");
+    }
+    return Value::Int(static_cast<int64_t>(v.AsArray().size()));
+  }
+  if (name == "array_append") {
+    if (expr.args.size() != 2) {
+      return Status::InvalidArgument("array_append expects (array, int)");
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(Value arr, Eval(*expr.args[0], chunk, row));
+    ORPHEUS_ASSIGN_OR_RETURN(Value v, Eval(*expr.args[1], chunk, row));
+    if (arr.type() != DataType::kIntArray || v.type() != DataType::kInt64) {
+      return Status::InvalidArgument("array_append expects (array, int)");
+    }
+    IntArray out = arr.AsArray();
+    out.push_back(v.AsInt());
+    return Value::Array(std::move(out));
+  }
+  if (name == "abs") {
+    if (expr.args.size() != 1) return Status::InvalidArgument("abs expects 1 arg");
+    ORPHEUS_ASSIGN_OR_RETURN(Value v, Eval(*expr.args[0], chunk, row));
+    if (v.is_null()) return Value::Null();
+    if (v.type() == DataType::kInt64) return Value::Int(std::abs(v.AsInt()));
+    return Value::Double(std::fabs(v.AsDouble()));
+  }
+  if (name == "coalesce") {
+    for (const ExprPtr& arg : expr.args) {
+      ORPHEUS_ASSIGN_OR_RETURN(Value v, Eval(*arg, chunk, row));
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  return Status::NotSupported("unknown function: " + name);
+}
+
+Result<bool> Evaluator::EvalPredicate(const Expr& expr, const Chunk& chunk,
+                                      size_t row) const {
+  ORPHEUS_ASSIGN_OR_RETURN(Value v, Eval(expr, chunk, row));
+  return !v.is_null() && v.AsBool();
+}
+
+}  // namespace orpheus::rel

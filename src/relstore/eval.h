@@ -1,0 +1,54 @@
+// Expression binding and row-at-a-time evaluation.
+//
+// Usage: Bind() once against the schema the expression will run over
+// (resolving column references to positions and pre-executing any
+// subqueries), then Eval() per row. Binding mutates Expr::bound_col,
+// so a bound expression is tied to one schema at a time.
+
+#ifndef ORPHEUS_RELSTORE_EVAL_H_
+#define ORPHEUS_RELSTORE_EVAL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "relstore/chunk.h"
+#include "relstore/sql_ast.h"
+
+namespace orpheus::rel {
+
+class Executor;
+
+class Evaluator {
+ public:
+  // `executor` runs IN/ARRAY subqueries; may be null if the
+  // expressions contain none.
+  explicit Evaluator(Executor* executor) : executor_(executor) {}
+
+  // Resolves column refs in `expr` against `schema` and executes any
+  // subqueries, caching their results for Eval.
+  Status Bind(Expr* expr, const Schema& schema);
+
+  // Evaluates a bound scalar expression on row `row` of `chunk`.
+  Result<Value> Eval(const Expr& expr, const Chunk& chunk, size_t row) const;
+
+  // Evaluates a bound predicate; NULL results count as false.
+  Result<bool> EvalPredicate(const Expr& expr, const Chunk& chunk, size_t row) const;
+
+ private:
+  Result<Value> EvalBinary(const Expr& expr, const Chunk& chunk, size_t row) const;
+  Result<Value> EvalFunc(const Expr& expr, const Chunk& chunk, size_t row) const;
+
+  Executor* executor_;
+  // Pre-executed IN (subquery) sets: int fast path and generic values.
+  std::unordered_map<const Expr*, std::unordered_set<int64_t>> in_int_sets_;
+  std::unordered_map<const Expr*, std::vector<Value>> in_value_lists_;
+  // Pre-executed ARRAY(subquery) values.
+  std::unordered_map<const Expr*, Value> array_subqueries_;
+};
+
+}  // namespace orpheus::rel
+
+#endif  // ORPHEUS_RELSTORE_EVAL_H_

@@ -1,0 +1,969 @@
+#include "relstore/executor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relstore/database.h"
+#include "relstore/eval.h"
+
+namespace orpheus::rel {
+
+namespace {
+
+// Collects column references appearing in an expression tree.
+void CollectColumnRefs(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == ExprKind::kColumnRef) out->push_back(&expr);
+  for (const ExprPtr& arg : expr.args) CollectColumnRefs(*arg, out);
+  // Subquery internals reference their own scopes; skip them.
+}
+
+// True if every column ref in `expr` resolves in `schema`.
+bool ResolvableIn(const Expr& expr, const Schema& schema) {
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(expr, &refs);
+  for (const Expr* ref : refs) {
+    if (!schema.Resolve(ref->column).ok()) return false;
+  }
+  return true;
+}
+
+void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary && expr->bin_op == BinOp::kAnd) {
+    SplitConjuncts(expr->args[0].get(), out);
+    SplitConjuncts(expr->args[1].get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.IsAggregate()) return true;
+  for (const ExprPtr& arg : expr.args) {
+    if (ContainsAggregate(*arg)) return true;
+  }
+  return false;
+}
+
+bool IsUnnestCall(const Expr& expr) {
+  return expr.kind == ExprKind::kFunc && expr.func_name == "unnest";
+}
+
+// Serializes a value into a byte string for group-by / distinct keys.
+void EncodeValue(const Value& v, std::string* out) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kInt64:
+    case DataType::kBool: {
+      int64_t x = v.AsInt();
+      out->append(reinterpret_cast<const char*>(&x), sizeof(x));
+      break;
+    }
+    case DataType::kDouble: {
+      double d = v.AsDouble();
+      out->append(reinterpret_cast<const char*>(&d), sizeof(d));
+      break;
+    }
+    case DataType::kString: {
+      size_t len = v.AsString().size();
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(v.AsString());
+      break;
+    }
+    case DataType::kIntArray: {
+      size_t len = v.AsArray().size();
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      for (int64_t x : v.AsArray()) {
+        out->append(reinterpret_cast<const char*>(&x), sizeof(x));
+      }
+      break;
+    }
+  }
+}
+
+DataType InferType(const Value& v) {
+  return v.is_null() ? DataType::kInt64 : v.type();
+}
+
+// Strips an "alias." qualifier.
+std::string BaseName(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+int64_t ChunkPages(const Chunk& chunk) {
+  return chunk.ByteSize() / 8192 + 1;
+}
+
+}  // namespace
+
+Result<Executor::Input> Executor::ResolveTableRef(const TableRef& ref) {
+  Input input;
+  if (ref.subquery != nullptr) {
+    ORPHEUS_ASSIGN_OR_RETURN(Chunk sub, RunSelect(*ref.subquery));
+    input.owned = std::make_unique<Chunk>(std::move(sub));
+    input.data = input.owned.get();
+    input.schema = input.data->schema().Qualified(ref.alias);
+    input.alias = ref.alias;
+    return input;
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(Table * table, db_->GetTable(ref.name));
+  input.data = &table->data();
+  input.schema = table->schema().Qualified(ref.alias);
+  input.base = table;
+  input.alias = ref.alias;
+  return input;
+}
+
+Status Executor::PushDownFilters(std::vector<Input>* inputs,
+                                 std::vector<const Expr*>* conjuncts) {
+  std::vector<const Expr*> remaining;
+  std::vector<std::vector<const Expr*>> per_input(inputs->size());
+  for (const Expr* conjunct : *conjuncts) {
+    int home = -1;
+    int matches = 0;
+    for (size_t i = 0; i < inputs->size(); ++i) {
+      if (ResolvableIn(*conjunct, (*inputs)[i].schema)) {
+        home = static_cast<int>(i);
+        ++matches;
+      }
+    }
+    if (matches == 1) {
+      per_input[static_cast<size_t>(home)].push_back(conjunct);
+    } else {
+      remaining.push_back(conjunct);
+    }
+  }
+  for (size_t i = 0; i < inputs->size(); ++i) {
+    if (per_input[i].empty()) continue;
+    Input& input = (*inputs)[i];
+    Evaluator eval(this);
+    std::vector<ExprPtr> bound;  // clone-free: bind the shared nodes
+    for (const Expr* conjunct : per_input[i]) {
+      ORPHEUS_RETURN_NOT_OK(eval.Bind(const_cast<Expr*>(conjunct), input.schema));
+    }
+    const Chunk& src = *input.data;
+    std::vector<uint32_t> sel;
+    for (size_t row = 0; row < src.num_rows(); ++row) {
+      bool pass = true;
+      for (const Expr* conjunct : per_input[i]) {
+        ORPHEUS_ASSIGN_OR_RETURN(bool ok, eval.EvalPredicate(*conjunct, src, row));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) sel.push_back(static_cast<uint32_t>(row));
+    }
+    db_->stats()->rows_scanned += static_cast<int64_t>(src.num_rows());
+    db_->stats()->pages_read +=
+        input.base != nullptr ? input.base->num_pages() : ChunkPages(src);
+    auto filtered = std::make_unique<Chunk>(src.schema());
+    filtered->GatherFrom(src, sel);
+    input.owned = std::move(filtered);
+    input.data = input.owned.get();
+    input.base = nullptr;  // a filtered input is no longer the raw table
+  }
+  *conjuncts = std::move(remaining);
+  return Status::OK();
+}
+
+Result<Executor::Input> Executor::JoinInputs(std::vector<Input> inputs,
+                                             std::vector<const Expr*>* conjuncts) {
+  Input acc = std::move(inputs[0]);
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    Input right = std::move(inputs[i]);
+    // Extract equi-join keys between acc and right.
+    std::vector<std::pair<const Expr*, const Expr*>> keys;
+    std::vector<const Expr*> remaining;
+    for (const Expr* conjunct : *conjuncts) {
+      bool used = false;
+      if (conjunct->kind == ExprKind::kBinary && conjunct->bin_op == BinOp::kEq &&
+          conjunct->args[0]->kind == ExprKind::kColumnRef &&
+          conjunct->args[1]->kind == ExprKind::kColumnRef) {
+        const Expr* a = conjunct->args[0].get();
+        const Expr* b = conjunct->args[1].get();
+        bool a_left = acc.schema.Resolve(a->column).ok();
+        bool a_right = right.schema.Resolve(a->column).ok();
+        bool b_left = acc.schema.Resolve(b->column).ok();
+        bool b_right = right.schema.Resolve(b->column).ok();
+        if (a_left && !a_right && b_right && !b_left) {
+          keys.emplace_back(a, b);
+          used = true;
+        } else if (b_left && !b_right && a_right && !a_left) {
+          keys.emplace_back(b, a);
+          used = true;
+        }
+      }
+      if (!used) remaining.push_back(conjunct);
+    }
+    *conjuncts = std::move(remaining);
+    ORPHEUS_ASSIGN_OR_RETURN(acc, JoinPair(std::move(acc), std::move(right), keys));
+  }
+  return acc;
+}
+
+Result<Executor::Input> Executor::JoinPair(
+    Input left, Input right,
+    const std::vector<std::pair<const Expr*, const Expr*>>& keys) {
+  ExecStats* stats = db_->stats();
+  const Chunk& lc = *left.data;
+  const Chunk& rc = *right.data;
+  std::vector<uint32_t> lidx;
+  std::vector<uint32_t> ridx;
+
+  if (keys.empty()) {
+    // Cross join; guarded against blowups.
+    size_t total = lc.num_rows() * rc.num_rows();
+    if (total > size_t{10} * 1000 * 1000) {
+      return Status::InvalidArgument("cross join result too large");
+    }
+    for (size_t l = 0; l < lc.num_rows(); ++l) {
+      for (size_t r = 0; r < rc.num_rows(); ++r) {
+        lidx.push_back(static_cast<uint32_t>(l));
+        ridx.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    stats->rows_scanned += static_cast<int64_t>(total);
+  } else {
+    // Resolve key columns on both sides.
+    std::vector<int> lcols;
+    std::vector<int> rcols;
+    for (const auto& [lexpr, rexpr] : keys) {
+      ORPHEUS_ASSIGN_OR_RETURN(int lcol, left.schema.Resolve(lexpr->column));
+      ORPHEUS_ASSIGN_OR_RETURN(int rcol, right.schema.Resolve(rexpr->column));
+      lcols.push_back(lcol);
+      rcols.push_back(rcol);
+    }
+    bool single_int_key =
+        keys.size() == 1 &&
+        lc.column(lcols[0]).type() == DataType::kInt64 &&
+        rc.column(rcols[0]).type() == DataType::kInt64;
+
+    JoinMethod method = db_->join_method();
+    // Index-nested-loop needs an index on one side's base table.
+    Table* indexed_base = nullptr;
+    bool probe_right = false;
+    if (method == JoinMethod::kIndexNestedLoop && single_int_key) {
+      std::string rname = BaseName(right.schema.column(rcols[0]).name);
+      std::string lname = BaseName(left.schema.column(lcols[0]).name);
+      if (right.base != nullptr && right.base->HasIndex(rname)) {
+        indexed_base = right.base;
+        probe_right = true;
+      } else if (left.base != nullptr && left.base->HasIndex(lname)) {
+        indexed_base = left.base;
+        probe_right = false;
+      } else {
+        method = JoinMethod::kHash;  // no usable index; fall back
+      }
+    } else if (method == JoinMethod::kIndexNestedLoop) {
+      method = JoinMethod::kHash;
+    }
+
+    if (method == JoinMethod::kHash || !single_int_key) {
+      if (single_int_key) {
+        // Build on the smaller side, probe the larger (the paper's
+        // "hash table on rids, sequential scan on the data table").
+        // NULL keys never participate in equi-joins.
+        bool build_right = rc.num_rows() <= lc.num_rows();
+        const Column& bcol = build_right ? rc.column(rcols[0]) : lc.column(lcols[0]);
+        const Column& pcol = build_right ? lc.column(lcols[0]) : rc.column(rcols[0]);
+        const std::vector<int64_t>& bkeys = bcol.ints();
+        const std::vector<int64_t>& pkeys = pcol.ints();
+        std::unordered_map<int64_t, std::vector<uint32_t>> hash;
+        hash.reserve(bkeys.size() * 2);
+        for (size_t i = 0; i < bkeys.size(); ++i) {
+          if (bcol.IsNull(i)) continue;
+          hash[bkeys[i]].push_back(static_cast<uint32_t>(i));
+        }
+        for (size_t i = 0; i < pkeys.size(); ++i) {
+          if (pcol.IsNull(i)) continue;
+          auto hit = hash.find(pkeys[i]);
+          if (hit == hash.end()) continue;
+          for (uint32_t m : hit->second) {
+            if (build_right) {
+              lidx.push_back(static_cast<uint32_t>(i));
+              ridx.push_back(m);
+            } else {
+              lidx.push_back(m);
+              ridx.push_back(static_cast<uint32_t>(i));
+            }
+          }
+        }
+      } else {
+        // Generic multi-key hash join via encoded keys.
+        // Generic multi-key hash join via encoded keys; rows with any
+        // NULL key are skipped (SQL equi-join semantics).
+        auto any_null = [](const Chunk& chunk, const std::vector<int>& cols,
+                           size_t row) {
+          for (int col : cols) {
+            if (chunk.column(col).IsNull(row)) return true;
+          }
+          return false;
+        };
+        std::unordered_map<std::string, std::vector<uint32_t>> hash;
+        for (size_t r = 0; r < rc.num_rows(); ++r) {
+          if (any_null(rc, rcols, r)) continue;
+          std::string key;
+          for (int col : rcols) EncodeValue(rc.Get(r, col), &key);
+          hash[key].push_back(static_cast<uint32_t>(r));
+        }
+        for (size_t l = 0; l < lc.num_rows(); ++l) {
+          if (any_null(lc, lcols, l)) continue;
+          std::string key;
+          for (int col : lcols) EncodeValue(lc.Get(l, col), &key);
+          auto hit = hash.find(key);
+          if (hit == hash.end()) continue;
+          for (uint32_t m : hit->second) {
+            lidx.push_back(static_cast<uint32_t>(l));
+            ridx.push_back(m);
+          }
+        }
+      }
+      stats->rows_scanned +=
+          static_cast<int64_t>(lc.num_rows() + rc.num_rows());
+      stats->pages_read += left.base != nullptr ? left.base->num_pages()
+                                                : ChunkPages(lc);
+      stats->pages_read += right.base != nullptr ? right.base->num_pages()
+                                                 : ChunkPages(rc);
+    } else if (method == JoinMethod::kMerge) {
+      const std::vector<int64_t>& lkeys = lc.column(lcols[0]).ints();
+      const std::vector<int64_t>& rkeys = rc.column(rcols[0]).ints();
+      auto sorted_order = [](const std::vector<int64_t>& keys, bool presorted) {
+        std::vector<uint32_t> order(keys.size());
+        std::iota(order.begin(), order.end(), 0);
+        if (!presorted) {
+          std::stable_sort(order.begin(), order.end(), [&keys](uint32_t a, uint32_t b) {
+            return keys[a] < keys[b];
+          });
+        }
+        return order;
+      };
+      bool l_sorted = left.base != nullptr &&
+                      left.base->clustered_on() ==
+                          BaseName(left.schema.column(lcols[0]).name);
+      bool r_sorted = right.base != nullptr &&
+                      right.base->clustered_on() ==
+                          BaseName(right.schema.column(rcols[0]).name);
+      std::vector<uint32_t> lorder = sorted_order(lkeys, l_sorted);
+      std::vector<uint32_t> rorder = sorted_order(rkeys, r_sorted);
+      size_t li = 0;
+      size_t ri = 0;
+      while (li < lorder.size() && ri < rorder.size()) {
+        // NULL keys never match.
+        if (lc.column(lcols[0]).IsNull(lorder[li])) {
+          ++li;
+          continue;
+        }
+        if (rc.column(rcols[0]).IsNull(rorder[ri])) {
+          ++ri;
+          continue;
+        }
+        int64_t lk = lkeys[lorder[li]];
+        int64_t rk = rkeys[rorder[ri]];
+        if (lk < rk) {
+          ++li;
+        } else if (lk > rk) {
+          ++ri;
+        } else {
+          size_t lrun = li;
+          while (lrun < lorder.size() && lkeys[lorder[lrun]] == lk) ++lrun;
+          size_t rrun = ri;
+          while (rrun < rorder.size() && rkeys[rorder[rrun]] == rk) ++rrun;
+          for (size_t a = li; a < lrun; ++a) {
+            for (size_t b = ri; b < rrun; ++b) {
+              lidx.push_back(lorder[a]);
+              ridx.push_back(rorder[b]);
+            }
+          }
+          li = lrun;
+          ri = rrun;
+        }
+      }
+      stats->rows_scanned +=
+          static_cast<int64_t>(lc.num_rows() + rc.num_rows());
+      stats->pages_read += left.base != nullptr ? left.base->num_pages()
+                                                : ChunkPages(lc);
+      stats->pages_read += right.base != nullptr ? right.base->num_pages()
+                                                 : ChunkPages(rc);
+    } else {
+      // Index-nested-loop join.
+      const Input& outer = probe_right ? left : right;
+      Table* inner_table = indexed_base;
+      int outer_col = probe_right ? lcols[0] : rcols[0];
+      const std::string inner_col = BaseName(
+          (probe_right ? right.schema.column(rcols[0]) : left.schema.column(lcols[0]))
+              .name);
+      const std::vector<int64_t>& okeys = outer.data->column(outer_col).ints();
+      std::vector<bool> page_bitmap(
+          static_cast<size_t>(inner_table->num_pages()), false);
+      for (size_t o = 0; o < okeys.size(); ++o) {
+        if (outer.data->column(outer_col).IsNull(o)) continue;
+        const std::vector<uint32_t>* matches =
+            inner_table->LookupInt(inner_col, okeys[o]);
+        ++stats->index_probes;
+        if (matches == nullptr) {
+          return Status::Internal("index lookup failed during INL join");
+        }
+        for (uint32_t m : *matches) {
+          page_bitmap[static_cast<size_t>(inner_table->PageOfRow(m))] = true;
+          if (probe_right) {
+            lidx.push_back(static_cast<uint32_t>(o));
+            ridx.push_back(m);
+          } else {
+            lidx.push_back(m);
+            ridx.push_back(static_cast<uint32_t>(o));
+          }
+        }
+      }
+      stats->rows_scanned += static_cast<int64_t>(okeys.size());
+      int64_t pages_touched = 0;
+      if (inner_table->clustered_on() == inner_col) {
+        // Matches land on contiguous pages: count distinct pages.
+        for (bool touched : page_bitmap) pages_touched += touched ? 1 : 0;
+      } else {
+        // Scattered rows: effectively one random page per probe, but
+        // never more than the whole table.
+        pages_touched = std::min<int64_t>(static_cast<int64_t>(okeys.size()),
+                                          inner_table->num_pages());
+      }
+      stats->pages_read += pages_touched;
+    }
+  }
+
+  // Materialize the combined chunk: left columns then right columns.
+  Schema combined;
+  for (const ColumnDef& def : left.schema.columns()) {
+    combined.AddColumn(def.name, def.type);
+  }
+  for (const ColumnDef& def : right.schema.columns()) {
+    combined.AddColumn(def.name, def.type);
+  }
+  auto out = std::make_unique<Chunk>(combined);
+  for (int c = 0; c < lc.num_columns(); ++c) {
+    out->mutable_column(c).Gather(lc.column(c), lidx);
+  }
+  for (int c = 0; c < rc.num_columns(); ++c) {
+    out->mutable_column(lc.num_columns() + c).Gather(rc.column(c), ridx);
+  }
+  Input result;
+  result.schema = out->schema();
+  result.owned = std::move(out);
+  result.data = result.owned.get();
+  return result;
+}
+
+Result<Chunk> Executor::RunSelect(const SelectStmt& select) {
+  // FROM-less SELECT evaluates items once against a dummy row.
+  if (select.from.empty()) {
+    Schema dummy_schema;
+    dummy_schema.AddColumn("_dummy", DataType::kInt64);
+    Chunk dummy(dummy_schema);
+    dummy.AppendRow({Value::Int(0)});
+    Input input;
+    input.data = &dummy;
+    input.schema = dummy_schema;
+    std::vector<uint32_t> sel = {0};
+    return Project(select, input, sel);
+  }
+
+  std::vector<Input> inputs;
+  inputs.reserve(select.from.size());
+  for (const TableRef& ref : select.from) {
+    ORPHEUS_ASSIGN_OR_RETURN(Input input, ResolveTableRef(ref));
+    inputs.push_back(std::move(input));
+  }
+
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(select.where.get(), &conjuncts);
+
+  Input joined;
+  if (inputs.size() == 1) {
+    joined = std::move(inputs[0]);
+  } else {
+    ORPHEUS_RETURN_NOT_OK(PushDownFilters(&inputs, &conjuncts));
+    ORPHEUS_ASSIGN_OR_RETURN(joined,
+                             JoinInputs(std::move(inputs), &conjuncts));
+  }
+
+  // Residual filter -> selection vector.
+  const Chunk& data = *joined.data;
+  std::vector<uint32_t> sel;
+  if (conjuncts.empty()) {
+    sel.resize(data.num_rows());
+    std::iota(sel.begin(), sel.end(), 0);
+    if (joined.base != nullptr) {
+      // Whole-table scan still touches every page.
+      db_->stats()->pages_read += joined.base->num_pages();
+      db_->stats()->rows_scanned += static_cast<int64_t>(data.num_rows());
+    }
+  } else {
+    Evaluator eval(this);
+    for (const Expr* conjunct : conjuncts) {
+      ORPHEUS_RETURN_NOT_OK(eval.Bind(const_cast<Expr*>(conjunct), joined.schema));
+    }
+    for (size_t row = 0; row < data.num_rows(); ++row) {
+      bool pass = true;
+      for (const Expr* conjunct : conjuncts) {
+        ORPHEUS_ASSIGN_OR_RETURN(bool ok, eval.EvalPredicate(*conjunct, data, row));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) sel.push_back(static_cast<uint32_t>(row));
+    }
+    db_->stats()->rows_scanned += static_cast<int64_t>(data.num_rows());
+    db_->stats()->pages_read += joined.base != nullptr
+                                    ? joined.base->num_pages()
+                                    : ChunkPages(data);
+  }
+
+  bool aggregating = !select.group_by.empty();
+  for (const SelectItem& item : select.items) {
+    if (ContainsAggregate(*item.expr)) aggregating = true;
+  }
+
+  Chunk out;
+  bool ordered_on_input = false;
+  if (aggregating) {
+    ORPHEUS_ASSIGN_OR_RETURN(out, Aggregate(select, joined, sel));
+    ORPHEUS_RETURN_NOT_OK(ApplyHaving(select, &out));
+  } else {
+    // SQL permits ORDER BY on columns absent from the select list;
+    // those keys only exist pre-projection, so sort the selection
+    // vector against the input schema when the keys resolve there.
+    if (!select.order_by.empty()) {
+      bool resolvable = true;
+      for (const OrderItem& item : select.order_by) {
+        if (!ResolvableIn(*item.expr, joined.schema)) {
+          resolvable = false;
+          break;
+        }
+      }
+      if (resolvable) {
+        Evaluator eval(this);
+        for (const OrderItem& item : select.order_by) {
+          ORPHEUS_RETURN_NOT_OK(eval.Bind(item.expr.get(), joined.schema));
+        }
+        std::vector<std::vector<Value>> keys(sel.size());
+        for (size_t i = 0; i < sel.size(); ++i) {
+          keys[i].reserve(select.order_by.size());
+          for (const OrderItem& item : select.order_by) {
+            auto v = eval.Eval(*item.expr, data, sel[i]);
+            if (!v.ok()) return v.status();
+            keys[i].push_back(std::move(v).value());
+          }
+        }
+        std::vector<uint32_t> perm(sel.size());
+        std::iota(perm.begin(), perm.end(), 0);
+        std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+          for (size_t k = 0; k < select.order_by.size(); ++k) {
+            int cmp = keys[a][k].Compare(keys[b][k]);
+            if (select.order_by[k].descending) cmp = -cmp;
+            if (cmp != 0) return cmp < 0;
+          }
+          return false;
+        });
+        std::vector<uint32_t> sorted_sel(sel.size());
+        for (size_t i = 0; i < sel.size(); ++i) sorted_sel[i] = sel[perm[i]];
+        sel = std::move(sorted_sel);
+        ordered_on_input = true;
+      }
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(out, Project(select, joined, sel));
+  }
+
+  if (select.distinct) {
+    ORPHEUS_RETURN_NOT_OK(ApplyDistinct(&out));
+  }
+  if (ordered_on_input) {
+    // Order already applied; only the LIMIT remains.
+    SelectStmt limit_only;
+    limit_only.limit = select.limit;
+    ORPHEUS_RETURN_NOT_OK(ApplyOrderByLimit(limit_only, &out));
+  } else {
+    ORPHEUS_RETURN_NOT_OK(ApplyOrderByLimit(select, &out));
+  }
+  return out;
+}
+
+Result<Chunk> Executor::Project(const SelectStmt& select, const Input& input,
+                                const std::vector<uint32_t>& sel) {
+  const Chunk& data = *input.data;
+  const Schema& schema = input.schema;
+
+  // Expand the select list into concrete output columns.
+  struct OutCol {
+    int source_col = -1;        // >= 0: direct gather from input
+    const Expr* expr = nullptr; // computed expression
+    bool unnest = false;        // expand array elements into rows
+    std::string name;
+  };
+  std::vector<OutCol> out_cols;
+  Evaluator eval(this);
+  int unnest_count = 0;
+  for (const SelectItem& item : select.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      const std::string& qualifier = item.expr->column;
+      for (int c = 0; c < schema.num_columns(); ++c) {
+        const std::string& name = schema.column(c).name;
+        if (!qualifier.empty()) {
+          if (name.rfind(qualifier + ".", 0) != 0) continue;
+        }
+        OutCol out;
+        out.source_col = c;
+        out.name = name;
+        out_cols.push_back(std::move(out));
+      }
+      continue;
+    }
+    OutCol out;
+    if (IsUnnestCall(*item.expr)) {
+      if (item.expr->args.size() != 1) {
+        return Status::InvalidArgument("unnest expects exactly one argument");
+      }
+      out.unnest = true;
+      out.expr = item.expr->args[0].get();
+      ORPHEUS_RETURN_NOT_OK(eval.Bind(item.expr->args[0].get(), schema));
+      ++unnest_count;
+    } else if (item.expr->kind == ExprKind::kColumnRef) {
+      ORPHEUS_ASSIGN_OR_RETURN(out.source_col, schema.Resolve(item.expr->column));
+    } else {
+      out.expr = item.expr.get();
+      ORPHEUS_RETURN_NOT_OK(eval.Bind(item.expr.get(), schema));
+    }
+    out.name = !item.alias.empty()
+                   ? item.alias
+                   : (item.expr->kind == ExprKind::kColumnRef ? item.expr->column
+                                                              : item.expr->ToString());
+    out_cols.push_back(std::move(out));
+  }
+  if (unnest_count > 1) {
+    return Status::NotSupported("at most one unnest() per select list");
+  }
+
+  if (unnest_count == 0) {
+    // Bulk path: gathers for direct columns, row loop only for
+    // computed expressions.
+    Schema out_schema;
+    for (const OutCol& oc : out_cols) {
+      DataType type;
+      if (oc.source_col >= 0) {
+        type = schema.column(oc.source_col).type;
+      } else {
+        // Infer from the first row; default INT for empty inputs.
+        type = DataType::kInt64;
+        if (!sel.empty()) {
+          ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*oc.expr, data, sel[0]));
+          type = InferType(v);
+        }
+      }
+      out_schema.AddColumn(oc.name, type);
+    }
+    Chunk out(out_schema);
+    for (size_t c = 0; c < out_cols.size(); ++c) {
+      const OutCol& oc = out_cols[c];
+      Column& dst = out.mutable_column(static_cast<int>(c));
+      if (oc.source_col >= 0) {
+        dst.Gather(data.column(oc.source_col), sel);
+      } else {
+        for (uint32_t row : sel) {
+          ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*oc.expr, data, row));
+          dst.Append(v);
+        }
+      }
+    }
+    return out;
+  }
+
+  // Unnest path: one output row per array element; other columns are
+  // replicated alongside.
+  Schema out_schema;
+  for (const OutCol& oc : out_cols) {
+    if (oc.unnest) {
+      out_schema.AddColumn(oc.name, DataType::kInt64);
+    } else if (oc.source_col >= 0) {
+      out_schema.AddColumn(oc.name, schema.column(oc.source_col).type);
+    } else {
+      out_schema.AddColumn(oc.name, DataType::kInt64);
+    }
+  }
+  Chunk out(out_schema);
+  for (uint32_t row : sel) {
+    // Evaluate the unnest argument once per input row.
+    IntArray elements;
+    for (const OutCol& oc : out_cols) {
+      if (oc.unnest) {
+        ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*oc.expr, data, row));
+        if (v.type() != DataType::kIntArray) {
+          return Status::InvalidArgument("unnest expects an INT[] argument");
+        }
+        elements = v.AsArray();
+      }
+    }
+    for (int64_t element : elements) {
+      for (size_t c = 0; c < out_cols.size(); ++c) {
+        const OutCol& oc = out_cols[c];
+        Column& dst = out.mutable_column(static_cast<int>(c));
+        if (oc.unnest) {
+          dst.AppendInt(element);
+        } else if (oc.source_col >= 0) {
+          dst.AppendFrom(data.column(oc.source_col), row);
+        } else {
+          ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*oc.expr, data, row));
+          dst.Append(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<Chunk> Executor::Aggregate(const SelectStmt& select, const Input& input,
+                                  const std::vector<uint32_t>& sel) {
+  const Chunk& data = *input.data;
+  const Schema& schema = input.schema;
+  Evaluator eval(this);
+
+  // Bind group-by expressions.
+  for (const ExprPtr& g : select.group_by) {
+    ORPHEUS_RETURN_NOT_OK(eval.Bind(g.get(), schema));
+  }
+
+  // Classify select items.
+  enum class AggKind { kGroupExpr, kCountStar, kCount, kSum, kAvg, kMin, kMax };
+  struct ItemPlan {
+    AggKind kind;
+    const Expr* arg = nullptr;  // aggregate argument or group expression
+    std::string name;
+  };
+  std::vector<ItemPlan> plans;
+  for (const SelectItem& item : select.items) {
+    ItemPlan plan;
+    const Expr& e = *item.expr;
+    if (e.IsAggregate()) {
+      if (e.func_name == "count") {
+        if (e.args.empty() || e.args[0]->kind == ExprKind::kStar) {
+          plan.kind = AggKind::kCountStar;
+        } else {
+          plan.kind = AggKind::kCount;
+          plan.arg = e.args[0].get();
+        }
+      } else {
+        if (e.args.size() != 1) {
+          return Status::InvalidArgument(e.func_name + " expects one argument");
+        }
+        plan.arg = e.args[0].get();
+        if (e.func_name == "sum") plan.kind = AggKind::kSum;
+        else if (e.func_name == "avg") plan.kind = AggKind::kAvg;
+        else if (e.func_name == "min") plan.kind = AggKind::kMin;
+        else plan.kind = AggKind::kMax;
+      }
+      if (plan.arg != nullptr) {
+        ORPHEUS_RETURN_NOT_OK(eval.Bind(const_cast<Expr*>(plan.arg), schema));
+      }
+    } else if (ContainsAggregate(e)) {
+      return Status::NotSupported(
+          "aggregates must be top-level select items: " + e.ToString());
+    } else {
+      // Must match one of the GROUP BY expressions.
+      bool matched = false;
+      for (const ExprPtr& g : select.group_by) {
+        if (g->ToString() == e.ToString()) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return Status::InvalidArgument(
+            "non-aggregate select item must appear in GROUP BY: " + e.ToString());
+      }
+      plan.kind = AggKind::kGroupExpr;
+      plan.arg = &e;
+      ORPHEUS_RETURN_NOT_OK(eval.Bind(const_cast<Expr*>(&e), schema));
+    }
+    plan.name = !item.alias.empty()
+                    ? item.alias
+                    : (e.kind == ExprKind::kColumnRef ? e.column : e.ToString());
+    plans.push_back(std::move(plan));
+  }
+
+  struct AggState {
+    int64_t count = 0;
+    double sum = 0;
+    bool sum_is_int = true;
+    int64_t isum = 0;
+    Value min;
+    Value max;
+    Value rep;  // representative group expression value
+  };
+  std::unordered_map<std::string, size_t> group_index;
+  std::vector<std::vector<AggState>> groups;  // [group][item]
+
+  for (uint32_t row : sel) {
+    std::string key;
+    for (const ExprPtr& g : select.group_by) {
+      ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*g, data, row));
+      EncodeValue(v, &key);
+    }
+    auto [it, inserted] = group_index.try_emplace(key, groups.size());
+    if (inserted) groups.emplace_back(plans.size());
+    std::vector<AggState>& states = groups[it->second];
+    for (size_t p = 0; p < plans.size(); ++p) {
+      const ItemPlan& plan = plans[p];
+      AggState& st = states[p];
+      switch (plan.kind) {
+        case AggKind::kGroupExpr: {
+          if (st.count == 0) {
+            ORPHEUS_ASSIGN_OR_RETURN(st.rep, eval.Eval(*plan.arg, data, row));
+          }
+          ++st.count;
+          break;
+        }
+        case AggKind::kCountStar:
+          ++st.count;
+          break;
+        default: {
+          ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*plan.arg, data, row));
+          if (v.is_null()) break;
+          ++st.count;
+          if (plan.kind == AggKind::kCount) break;
+          if (plan.kind == AggKind::kSum || plan.kind == AggKind::kAvg) {
+            if (v.type() == DataType::kInt64 && st.sum_is_int) {
+              st.isum += v.AsInt();
+            } else {
+              st.sum_is_int = false;
+            }
+            st.sum += v.AsDouble();
+          } else if (plan.kind == AggKind::kMin) {
+            if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
+          } else {
+            if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // With no GROUP BY and no input rows, SQL still yields one row.
+  if (select.group_by.empty() && groups.empty()) {
+    groups.emplace_back(plans.size());
+  }
+
+  // Produce one output row per group.
+  auto value_of = [](const ItemPlan& plan, const AggState& st) -> Value {
+    switch (plan.kind) {
+      case AggKind::kGroupExpr:
+        return st.rep;
+      case AggKind::kCountStar:
+      case AggKind::kCount:
+        return Value::Int(st.count);
+      case AggKind::kSum:
+        if (st.count == 0) return Value::Null();
+        return st.sum_is_int ? Value::Int(st.isum) : Value::Double(st.sum);
+      case AggKind::kAvg:
+        if (st.count == 0) return Value::Null();
+        return Value::Double(st.sum / static_cast<double>(st.count));
+      case AggKind::kMin:
+        return st.min;
+      case AggKind::kMax:
+        return st.max;
+    }
+    return Value::Null();
+  };
+
+  Schema out_schema;
+  for (size_t p = 0; p < plans.size(); ++p) {
+    DataType type = DataType::kInt64;
+    if (!groups.empty()) {
+      type = InferType(value_of(plans[p], groups[0][p]));
+    }
+    if (plans[p].kind == AggKind::kAvg) type = DataType::kDouble;
+    out_schema.AddColumn(plans[p].name, type);
+  }
+  Chunk out(out_schema);
+  std::vector<Value> row_values(plans.size());
+  for (const std::vector<AggState>& states : groups) {
+    for (size_t p = 0; p < plans.size(); ++p) {
+      row_values[p] = value_of(plans[p], states[p]);
+    }
+    out.AppendRow(row_values);
+  }
+  return out;
+}
+
+Status Executor::ApplyHaving(const SelectStmt& select, Chunk* out) {
+  if (select.having == nullptr) return Status::OK();
+  Evaluator eval(this);
+  ORPHEUS_RETURN_NOT_OK(eval.Bind(select.having.get(), out->schema()));
+  std::vector<bool> keep(out->num_rows());
+  for (size_t row = 0; row < out->num_rows(); ++row) {
+    ORPHEUS_ASSIGN_OR_RETURN(bool ok, eval.EvalPredicate(*select.having, *out, row));
+    keep[row] = ok;
+  }
+  out->FilterRows(keep);
+  return Status::OK();
+}
+
+Status Executor::ApplyDistinct(Chunk* out) {
+  std::unordered_set<std::string> seen;
+  std::vector<bool> keep(out->num_rows());
+  for (size_t row = 0; row < out->num_rows(); ++row) {
+    std::string key;
+    for (int c = 0; c < out->num_columns(); ++c) {
+      EncodeValue(out->Get(row, c), &key);
+    }
+    keep[row] = seen.insert(std::move(key)).second;
+  }
+  out->FilterRows(keep);
+  return Status::OK();
+}
+
+Status Executor::ApplyOrderByLimit(const SelectStmt& select, Chunk* out) {
+  if (!select.order_by.empty()) {
+    Evaluator eval(this);
+    for (const OrderItem& item : select.order_by) {
+      ORPHEUS_RETURN_NOT_OK(eval.Bind(item.expr.get(), out->schema()));
+    }
+    // Precompute sort keys.
+    std::vector<std::vector<Value>> keys(out->num_rows());
+    for (size_t row = 0; row < out->num_rows(); ++row) {
+      keys[row].reserve(select.order_by.size());
+      for (const OrderItem& item : select.order_by) {
+        auto v = eval.Eval(*item.expr, *out, row);
+        if (!v.ok()) return v.status();
+        keys[row].push_back(std::move(v).value());
+      }
+    }
+    std::vector<uint32_t> order(out->num_rows());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      for (size_t k = 0; k < select.order_by.size(); ++k) {
+        int cmp = keys[a][k].Compare(keys[b][k]);
+        if (select.order_by[k].descending) cmp = -cmp;
+        if (cmp != 0) return cmp < 0;
+      }
+      return false;
+    });
+    Chunk sorted(out->schema());
+    sorted.GatherFrom(*out, order);
+    *out = std::move(sorted);
+  }
+  if (select.limit >= 0 && static_cast<size_t>(select.limit) < out->num_rows()) {
+    std::vector<uint32_t> head(static_cast<size_t>(select.limit));
+    std::iota(head.begin(), head.end(), 0);
+    Chunk limited(out->schema());
+    limited.GatherFrom(*out, head);
+    *out = std::move(limited);
+  }
+  return Status::OK();
+}
+
+}  // namespace orpheus::rel

@@ -1,0 +1,91 @@
+// Query executor: runs analyzed SELECT statements against the catalog.
+//
+// Plan shape (mirrors what PostgreSQL does for the paper's queries):
+//   FROM inputs -> per-input pushed-down filters -> pairwise joins
+//   (hash / merge / index-nested-loop, selectable) -> residual filter
+//   -> aggregation or projection (incl. unnest expansion) -> DISTINCT
+//   -> ORDER BY -> LIMIT.
+//
+// The executor also charges a simple page-I/O model per operator (see
+// table.h) so experiments can report modeled I/O next to wall time.
+
+#ifndef ORPHEUS_RELSTORE_EXECUTOR_H_
+#define ORPHEUS_RELSTORE_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relstore/chunk.h"
+#include "relstore/sql_ast.h"
+#include "relstore/table.h"
+
+namespace orpheus::rel {
+
+class Database;
+
+// Join algorithm selection, as in the Appendix D.1 experiments.
+enum class JoinMethod {
+  kHash,             // build on the smaller side, probe the larger
+  kMerge,            // sort-merge (sort skipped on clustered inputs)
+  kIndexNestedLoop,  // probe a base-table index per outer row
+};
+
+// Logical execution counters, cumulative until Reset().
+struct ExecStats {
+  int64_t rows_scanned = 0;   // rows examined by scans and probes
+  int64_t index_probes = 0;   // point lookups into table indexes
+  int64_t pages_read = 0;     // modeled 8 KiB page touches
+  void Reset() { rows_scanned = index_probes = pages_read = 0; }
+};
+
+class Executor {
+ public:
+  explicit Executor(Database* db) : db_(db) {}
+
+  // Executes a SELECT (without INTO handling; Database applies INTO).
+  Result<Chunk> RunSelect(const SelectStmt& select);
+
+ private:
+  // A FROM-clause input: either a view onto a base table's chunk (no
+  // copy) or an owned chunk from a subquery / pushed-down filter.
+  struct Input {
+    const Chunk* data = nullptr;
+    std::unique_ptr<Chunk> owned;  // set iff materialized
+    Schema schema;                 // alias-qualified names
+    Table* base = nullptr;         // non-null iff unfiltered base table
+    std::string alias;
+  };
+
+  Result<Input> ResolveTableRef(const TableRef& ref);
+
+  // Applies the single-input conjuncts of `where` to each input
+  // (predicate pushdown); materializes filtered inputs.
+  Status PushDownFilters(std::vector<Input>* inputs,
+                         std::vector<const Expr*>* conjuncts);
+
+  // Joins inputs left-to-right into one chunk; consumes `conjuncts`
+  // that serve as equi-join keys, leaving residual predicates.
+  Result<Input> JoinInputs(std::vector<Input> inputs,
+                           std::vector<const Expr*>* conjuncts);
+
+  Result<Input> JoinPair(Input left, Input right,
+                         const std::vector<std::pair<const Expr*, const Expr*>>& keys);
+
+  Result<Chunk> Aggregate(const SelectStmt& select, const Input& input,
+                          const std::vector<uint32_t>& sel);
+  Result<Chunk> Project(const SelectStmt& select, const Input& input,
+                        const std::vector<uint32_t>& sel);
+
+  Status ApplyHaving(const SelectStmt& select, Chunk* out);
+  Status ApplyDistinct(Chunk* out);
+  Status ApplyOrderByLimit(const SelectStmt& select, Chunk* out);
+
+  Database* db_;
+};
+
+}  // namespace orpheus::rel
+
+#endif  // ORPHEUS_RELSTORE_EXECUTOR_H_

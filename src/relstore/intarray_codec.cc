@@ -1,0 +1,84 @@
+#include "relstore/intarray_codec.h"
+
+namespace orpheus::rel {
+
+namespace {
+
+void PutVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint(const std::string& in, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < in.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(in[*pos]);
+    ++*pos;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::string> EncodeSortedArray(const IntArray& values) {
+  std::string out;
+  PutVarint(static_cast<uint64_t>(values.size()), &out);
+  size_t i = 0;
+  int64_t prev_end = 0;  // exclusive end of the previous run
+  while (i < values.size()) {
+    if (values[i] < prev_end || (i > 0 && values[i] == values[i - 1])) {
+      return Status::InvalidArgument(
+          "EncodeSortedArray requires a strictly increasing array");
+    }
+    // Extend the run of consecutive values.
+    size_t run_end = i + 1;
+    while (run_end < values.size() && values[run_end] == values[run_end - 1] + 1) {
+      ++run_end;
+    }
+    uint64_t gap = static_cast<uint64_t>(values[i] - prev_end);
+    uint64_t length = static_cast<uint64_t>(run_end - i);
+    PutVarint(gap, &out);
+    PutVarint(length, &out);
+    prev_end = values[run_end - 1] + 1;
+    i = run_end;
+  }
+  return out;
+}
+
+Result<IntArray> DecodeSortedArray(const std::string& encoded) {
+  size_t pos = 0;
+  uint64_t count = 0;
+  if (!GetVarint(encoded, &pos, &count)) {
+    return Status::InvalidArgument("truncated encoded array (count)");
+  }
+  IntArray out;
+  out.reserve(count);
+  int64_t cursor = 0;
+  while (out.size() < count) {
+    uint64_t gap = 0;
+    uint64_t length = 0;
+    if (!GetVarint(encoded, &pos, &gap) || !GetVarint(encoded, &pos, &length)) {
+      return Status::InvalidArgument("truncated encoded array (run)");
+    }
+    cursor += static_cast<int64_t>(gap);
+    for (uint64_t j = 0; j < length; ++j) {
+      out.push_back(cursor++);
+    }
+  }
+  if (pos != encoded.size()) {
+    return Status::InvalidArgument("trailing bytes in encoded array");
+  }
+  return out;
+}
+
+}  // namespace orpheus::rel

@@ -1,0 +1,36 @@
+// Range/delta encoding for sorted integer arrays.
+//
+// §3.2 of the paper notes that the storage of the array-based data
+// models "can be further reduced by applying compression techniques
+// like range-encoding". This codec implements that ablation for the
+// rlist/vlist columns: a sorted rid list is split into maximal runs
+// [start, start+len), each emitted as a varint-encoded (gap, length)
+// pair. Version rlists are long runs of consecutive rids (records are
+// assigned ids in commit order), so this compresses them well.
+
+#ifndef ORPHEUS_RELSTORE_INTARRAY_CODEC_H_
+#define ORPHEUS_RELSTORE_INTARRAY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "relstore/types.h"
+
+namespace orpheus::rel {
+
+// Encodes a sorted, duplicate-free array. Returns InvalidArgument if
+// the input is not strictly increasing.
+Result<std::string> EncodeSortedArray(const IntArray& values);
+
+// Decodes a buffer produced by EncodeSortedArray.
+Result<IntArray> DecodeSortedArray(const std::string& encoded);
+
+// Bytes the plain representation would use (8 per element).
+inline int64_t PlainSize(const IntArray& values) {
+  return static_cast<int64_t>(values.size()) * 8;
+}
+
+}  // namespace orpheus::rel
+
+#endif  // ORPHEUS_RELSTORE_INTARRAY_CODEC_H_

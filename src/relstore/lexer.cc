@@ -1,0 +1,153 @@
+#include "relstore/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace orpheus::rel {
+
+namespace {
+
+// Keywords of the dialect. Anything else alphabetic is an identifier.
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "select", "into",   "from",    "where",  "group",  "by",     "order",
+      "limit",  "insert", "values",  "update", "set",    "delete", "create",
+      "table",  "drop",   "index",   "on",     "primary", "key",   "and",
+      "or",     "not",    "in",      "as",     "array",  "null",   "true",
+      "false",  "distinct", "asc",   "desc",   "if",     "exists", "cluster",
+      "having",
+      "int",    "integer", "bigint", "double", "float",  "real",   "decimal",
+      "numeric", "text",  "string",  "varchar", "bool",  "boolean",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      std::string lower = ToLower(word);
+      if (Keywords().count(lower) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = lower;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) || sql[i] == '.' ||
+                       sql[i] == 'e' || sql[i] == 'E' ||
+                       ((sql[i] == '+' || sql[i] == '-') && i > start &&
+                        (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E') is_float = true;
+        ++i;
+      }
+      std::string num(sql.substr(start, i - start));
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(num);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            body.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        body.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(body);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto try_op = [&](std::string_view op) -> bool {
+      if (sql.substr(i, op.size()) == op) {
+        tok.type = TokenType::kOperator;
+        tok.text = std::string(op);
+        i += op.size();
+        tokens.push_back(tok);
+        return true;
+      }
+      return false;
+    };
+    if (try_op("<@") || try_op("<=") || try_op(">=") || try_op("<>") ||
+        try_op("!=") || try_op("||")) {
+      continue;
+    }
+    static constexpr std::string_view kSingle = "(),.;=<>+-*/%[]";
+    if (kSingle.find(c) != std::string_view::npos) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace orpheus::rel

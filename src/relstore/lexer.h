@@ -1,0 +1,40 @@
+// SQL lexer: turns statement text into a token stream. Keywords are
+// recognized case-insensitively; identifiers keep their original
+// spelling.
+
+#ifndef ORPHEUS_RELSTORE_LEXER_H_
+#define ORPHEUS_RELSTORE_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orpheus::rel {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,   // normalized to lowercase in `text`
+  kInteger,
+  kFloat,
+  kString,    // body without quotes, '' unescaped
+  kOperator,  // punctuation and multi-char operators, in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;    // keyword/operator/identifier/string body
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;   // byte offset in the input, for error messages
+};
+
+// Tokenizes `sql`. The final token is always kEnd.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace orpheus::rel
+
+#endif  // ORPHEUS_RELSTORE_LEXER_H_

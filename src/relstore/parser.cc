@@ -1,0 +1,570 @@
+#include "relstore/parser.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "relstore/lexer.h"
+
+namespace orpheus::rel {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Statement>> ParseStatement();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool CheckKeyword(std::string_view kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (CheckKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool CheckOp(std::string_view op) const {
+    return Peek().type == TokenType::kOperator && Peek().text == op;
+  }
+  bool MatchOp(std::string_view op) {
+    if (CheckOp(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::ParseError("expected '" + std::string(kw) + "' near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status ExpectOp(std::string_view op) {
+    if (!MatchOp(op)) {
+      return Status::ParseError("expected '" + std::string(op) + "' near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::ParseError("expected identifier near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();       // after SELECT
+  Result<std::unique_ptr<Statement>> ParseInsert();        // after INSERT
+  Result<std::unique_ptr<Statement>> ParseUpdate();        // after UPDATE
+  Result<std::unique_ptr<Statement>> ParseDelete();        // after DELETE
+  Result<std::unique_ptr<Statement>> ParseCreate();        // after CREATE
+  Result<std::unique_ptr<Statement>> ParseDrop();          // after DROP
+  Result<std::unique_ptr<Statement>> ParseCluster();       // after CLUSTER
+
+  Result<TableRef> ParseTableRef();
+  Result<DataType> ParseType();
+
+  // Expression precedence ladder.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<std::unique_ptr<Statement>> Parser::ParseStatement() {
+  std::unique_ptr<Statement> stmt;
+  if (MatchKeyword("select")) {
+    ORPHEUS_ASSIGN_OR_RETURN(auto select, ParseSelect());
+    stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kSelect;
+    stmt->select = std::move(select);
+  } else if (MatchKeyword("insert")) {
+    ORPHEUS_ASSIGN_OR_RETURN(stmt, ParseInsert());
+  } else if (MatchKeyword("update")) {
+    ORPHEUS_ASSIGN_OR_RETURN(stmt, ParseUpdate());
+  } else if (MatchKeyword("delete")) {
+    ORPHEUS_ASSIGN_OR_RETURN(stmt, ParseDelete());
+  } else if (MatchKeyword("create")) {
+    ORPHEUS_ASSIGN_OR_RETURN(stmt, ParseCreate());
+  } else if (MatchKeyword("drop")) {
+    ORPHEUS_ASSIGN_OR_RETURN(stmt, ParseDrop());
+  } else if (MatchKeyword("cluster")) {
+    ORPHEUS_ASSIGN_OR_RETURN(stmt, ParseCluster());
+  } else {
+    return Status::ParseError("expected a statement keyword near offset " +
+                              std::to_string(Peek().offset));
+  }
+  MatchOp(";");
+  if (Peek().type != TokenType::kEnd) {
+    return Status::ParseError("trailing input near offset " +
+                              std::to_string(Peek().offset));
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelect() {
+  auto select = std::make_unique<SelectStmt>();
+  select->distinct = MatchKeyword("distinct");
+
+  // Select list.
+  while (true) {
+    SelectItem item;
+    if (CheckOp("*")) {
+      Advance();
+      item.expr = Expr::MakeStar();
+    } else if (Peek().type == TokenType::kIdentifier &&
+               Peek(1).type == TokenType::kOperator && Peek(1).text == "." &&
+               Peek(2).type == TokenType::kOperator && Peek(2).text == "*") {
+      // Qualified star: `alias.*`.
+      std::string qualifier = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+      item.expr = Expr::MakeStar();
+      item.expr->column = qualifier;
+    } else {
+      ORPHEUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("as")) {
+        ORPHEUS_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Advance().text;  // bare alias
+      }
+    }
+    select->items.push_back(std::move(item));
+    if (!MatchOp(",")) break;
+  }
+
+  if (MatchKeyword("into")) {
+    ORPHEUS_ASSIGN_OR_RETURN(select->into_table, ExpectIdentifier());
+  }
+
+  if (MatchKeyword("from")) {
+    while (true) {
+      ORPHEUS_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      select->from.push_back(std::move(ref));
+      if (!MatchOp(",")) break;
+    }
+  }
+
+  if (MatchKeyword("where")) {
+    ORPHEUS_ASSIGN_OR_RETURN(select->where, ParseExpr());
+  }
+  if (MatchKeyword("group")) {
+    ORPHEUS_RETURN_NOT_OK(ExpectKeyword("by"));
+    while (true) {
+      ORPHEUS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      select->group_by.push_back(std::move(e));
+      if (!MatchOp(",")) break;
+    }
+  }
+  if (MatchKeyword("having")) {
+    ORPHEUS_ASSIGN_OR_RETURN(select->having, ParseExpr());
+  }
+  if (MatchKeyword("order")) {
+    ORPHEUS_RETURN_NOT_OK(ExpectKeyword("by"));
+    while (true) {
+      OrderItem item;
+      ORPHEUS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("desc")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("asc");
+      }
+      select->order_by.push_back(std::move(item));
+      if (!MatchOp(",")) break;
+    }
+  }
+  if (MatchKeyword("limit")) {
+    if (Peek().type != TokenType::kInteger) {
+      return Status::ParseError("LIMIT expects an integer");
+    }
+    select->limit = Advance().int_value;
+  }
+  return select;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  if (MatchOp("(")) {
+    ORPHEUS_RETURN_NOT_OK(ExpectKeyword("select"));
+    ORPHEUS_ASSIGN_OR_RETURN(ref.subquery, ParseSelect());
+    ORPHEUS_RETURN_NOT_OK(ExpectOp(")"));
+    MatchKeyword("as");
+    ORPHEUS_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+    return ref;
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier());
+  if (MatchKeyword("as")) {
+    ORPHEUS_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+  } else if (Peek().type == TokenType::kIdentifier) {
+    ref.alias = Advance().text;
+  } else {
+    ref.alias = ref.name;
+  }
+  return ref;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseInsert() {
+  ORPHEUS_RETURN_NOT_OK(ExpectKeyword("into"));
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = Statement::Kind::kInsert;
+  ORPHEUS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+  if (MatchOp("(")) {
+    while (true) {
+      ORPHEUS_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt->columns.push_back(std::move(col));
+      if (!MatchOp(",")) break;
+    }
+    ORPHEUS_RETURN_NOT_OK(ExpectOp(")"));
+  }
+  if (MatchKeyword("values")) {
+    while (true) {
+      ORPHEUS_RETURN_NOT_OK(ExpectOp("("));
+      std::vector<ExprPtr> row;
+      while (true) {
+        ORPHEUS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (!MatchOp(",")) break;
+      }
+      ORPHEUS_RETURN_NOT_OK(ExpectOp(")"));
+      stmt->values.push_back(std::move(row));
+      if (!MatchOp(",")) break;
+    }
+    return stmt;
+  }
+  if (MatchKeyword("select")) {
+    ORPHEUS_ASSIGN_OR_RETURN(stmt->insert_select, ParseSelect());
+    return stmt;
+  }
+  return Status::ParseError("INSERT expects VALUES or SELECT");
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseUpdate() {
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = Statement::Kind::kUpdate;
+  ORPHEUS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+  ORPHEUS_RETURN_NOT_OK(ExpectKeyword("set"));
+  while (true) {
+    ORPHEUS_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    ORPHEUS_RETURN_NOT_OK(ExpectOp("="));
+    ORPHEUS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    stmt->assignments.emplace_back(std::move(col), std::move(e));
+    if (!MatchOp(",")) break;
+  }
+  if (MatchKeyword("where")) {
+    ORPHEUS_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseDelete() {
+  ORPHEUS_RETURN_NOT_OK(ExpectKeyword("from"));
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = Statement::Kind::kDelete;
+  ORPHEUS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+  if (MatchKeyword("where")) {
+    ORPHEUS_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<DataType> Parser::ParseType() {
+  if (Peek().type != TokenType::kKeyword && Peek().type != TokenType::kIdentifier) {
+    return Status::ParseError("expected a type name near offset " +
+                              std::to_string(Peek().offset));
+  }
+  std::string name = Advance().text;
+  if (MatchOp("[")) {
+    ORPHEUS_RETURN_NOT_OK(ExpectOp("]"));
+    name += "[]";
+  }
+  DataType type = DataTypeFromName(name);
+  if (type == DataType::kNull) {
+    return Status::ParseError("unknown type: " + name);
+  }
+  return type;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseCreate() {
+  if (MatchKeyword("table")) {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kCreateTable;
+    if (MatchKeyword("if")) {
+      ORPHEUS_RETURN_NOT_OK(ExpectKeyword("not"));
+      ORPHEUS_RETURN_NOT_OK(ExpectKeyword("exists"));
+      stmt->if_not_exists = true;
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    ORPHEUS_RETURN_NOT_OK(ExpectOp("("));
+    while (true) {
+      if (MatchKeyword("primary")) {
+        ORPHEUS_RETURN_NOT_OK(ExpectKeyword("key"));
+        ORPHEUS_RETURN_NOT_OK(ExpectOp("("));
+        while (true) {
+          ORPHEUS_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+          stmt->primary_key.push_back(std::move(col));
+          if (!MatchOp(",")) break;
+        }
+        ORPHEUS_RETURN_NOT_OK(ExpectOp(")"));
+      } else {
+        ColumnDef def;
+        ORPHEUS_ASSIGN_OR_RETURN(def.name, ExpectIdentifier());
+        ORPHEUS_ASSIGN_OR_RETURN(def.type, ParseType());
+        stmt->column_defs.push_back(std::move(def));
+      }
+      if (!MatchOp(",")) break;
+    }
+    ORPHEUS_RETURN_NOT_OK(ExpectOp(")"));
+    return stmt;
+  }
+  if (MatchKeyword("index")) {
+    auto stmt = std::make_unique<Statement>();
+    stmt->kind = Statement::Kind::kCreateIndex;
+    ORPHEUS_RETURN_NOT_OK(ExpectKeyword("on"));
+    ORPHEUS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    ORPHEUS_RETURN_NOT_OK(ExpectOp("("));
+    ORPHEUS_ASSIGN_OR_RETURN(stmt->index_column, ExpectIdentifier());
+    ORPHEUS_RETURN_NOT_OK(ExpectOp(")"));
+    return stmt;
+  }
+  return Status::ParseError("CREATE expects TABLE or INDEX");
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseDrop() {
+  ORPHEUS_RETURN_NOT_OK(ExpectKeyword("table"));
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = Statement::Kind::kDropTable;
+  if (MatchKeyword("if")) {
+    ORPHEUS_RETURN_NOT_OK(ExpectKeyword("exists"));
+    stmt->if_exists = true;
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+  return stmt;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseCluster() {
+  auto stmt = std::make_unique<Statement>();
+  stmt->kind = Statement::Kind::kClusterBy;
+  ORPHEUS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+  ORPHEUS_RETURN_NOT_OK(ExpectKeyword("by"));
+  ORPHEUS_ASSIGN_OR_RETURN(stmt->index_column, ExpectIdentifier());
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  ORPHEUS_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (MatchKeyword("or")) {
+    ORPHEUS_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = Expr::MakeBinary(BinOp::kOr, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  ORPHEUS_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (MatchKeyword("and")) {
+    ORPHEUS_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = Expr::MakeBinary(BinOp::kAnd, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("not")) {
+    ORPHEUS_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+    return Expr::MakeUnary(UnOp::kNot, std::move(inner));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  ORPHEUS_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  // IN (subquery)
+  if (MatchKeyword("in")) {
+    ORPHEUS_RETURN_NOT_OK(ExpectOp("("));
+    ORPHEUS_RETURN_NOT_OK(ExpectKeyword("select"));
+    ORPHEUS_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+    ORPHEUS_RETURN_NOT_OK(ExpectOp(")"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kInSubquery;
+    e->args.push_back(std::move(left));
+    e->subquery = std::move(sub);
+    return e;
+  }
+  struct OpMap {
+    const char* text;
+    BinOp op;
+  };
+  static constexpr OpMap kOps[] = {
+      {"<@", BinOp::kContains}, {"<=", BinOp::kLe}, {">=", BinOp::kGe},
+      {"<>", BinOp::kNe},       {"!=", BinOp::kNe}, {"=", BinOp::kEq},
+      {"<", BinOp::kLt},        {">", BinOp::kGt},
+  };
+  for (const OpMap& candidate : kOps) {
+    if (MatchOp(candidate.text)) {
+      ORPHEUS_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+      return Expr::MakeBinary(candidate.op, std::move(left), std::move(right));
+    }
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  ORPHEUS_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (true) {
+    BinOp op;
+    if (MatchOp("+")) {
+      op = BinOp::kAdd;
+    } else if (MatchOp("-")) {
+      op = BinOp::kSub;
+    } else if (MatchOp("||")) {
+      op = BinOp::kConcat;
+    } else {
+      break;
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = Expr::MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  ORPHEUS_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (true) {
+    BinOp op;
+    if (MatchOp("*")) {
+      op = BinOp::kMul;
+    } else if (MatchOp("/")) {
+      op = BinOp::kDiv;
+    } else if (MatchOp("%")) {
+      op = BinOp::kMod;
+    } else {
+      break;
+    }
+    ORPHEUS_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = Expr::MakeBinary(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (MatchOp("-")) {
+    ORPHEUS_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+    return Expr::MakeUnary(UnOp::kNeg, std::move(inner));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kInteger:
+      Advance();
+      return Expr::MakeLiteral(Value::Int(tok.int_value));
+    case TokenType::kFloat:
+      Advance();
+      return Expr::MakeLiteral(Value::Double(tok.double_value));
+    case TokenType::kString:
+      Advance();
+      return Expr::MakeLiteral(Value::String(tok.text));
+    case TokenType::kKeyword: {
+      if (MatchKeyword("null")) return Expr::MakeLiteral(Value::Null());
+      if (MatchKeyword("true")) return Expr::MakeLiteral(Value::Bool(true));
+      if (MatchKeyword("false")) return Expr::MakeLiteral(Value::Bool(false));
+      if (MatchKeyword("array")) {
+        if (MatchOp("[")) {
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kArrayLiteral;
+          if (!CheckOp("]")) {
+            while (true) {
+              ORPHEUS_ASSIGN_OR_RETURN(ExprPtr elem, ParseExpr());
+              e->args.push_back(std::move(elem));
+              if (!MatchOp(",")) break;
+            }
+          }
+          ORPHEUS_RETURN_NOT_OK(ExpectOp("]"));
+          return e;
+        }
+        if (MatchOp("(")) {
+          ORPHEUS_RETURN_NOT_OK(ExpectKeyword("select"));
+          ORPHEUS_ASSIGN_OR_RETURN(auto sub, ParseSelect());
+          ORPHEUS_RETURN_NOT_OK(ExpectOp(")"));
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kArraySubquery;
+          e->subquery = std::move(sub);
+          return e;
+        }
+        return Status::ParseError("ARRAY expects '[' or '('");
+      }
+      return Status::ParseError("unexpected keyword '" + tok.text +
+                                "' near offset " + std::to_string(tok.offset));
+    }
+    case TokenType::kIdentifier: {
+      std::string name = Advance().text;
+      if (MatchOp("(")) {  // function call
+        std::vector<ExprPtr> args;
+        if (!CheckOp(")")) {
+          while (true) {
+            if (CheckOp("*")) {
+              Advance();
+              args.push_back(Expr::MakeStar());
+            } else {
+              ORPHEUS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              args.push_back(std::move(arg));
+            }
+            if (!MatchOp(",")) break;
+          }
+        }
+        ORPHEUS_RETURN_NOT_OK(ExpectOp(")"));
+        return Expr::MakeFunc(ToLower(name), std::move(args));
+      }
+      if (MatchOp(".")) {
+        ORPHEUS_ASSIGN_OR_RETURN(std::string field, ExpectIdentifier());
+        return Expr::MakeColumn(name + "." + field);
+      }
+      return Expr::MakeColumn(std::move(name));
+    }
+    case TokenType::kOperator: {
+      if (MatchOp("(")) {
+        ORPHEUS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        ORPHEUS_RETURN_NOT_OK(ExpectOp(")"));
+        return inner;
+      }
+      break;
+    }
+    case TokenType::kEnd:
+      break;
+  }
+  return Status::ParseError("unexpected token near offset " +
+                            std::to_string(tok.offset));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Statement>> ParseSql(std::string_view sql) {
+  ORPHEUS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace orpheus::rel

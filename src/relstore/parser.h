@@ -1,0 +1,19 @@
+// Recursive-descent parser for the relstore SQL dialect.
+
+#ifndef ORPHEUS_RELSTORE_PARSER_H_
+#define ORPHEUS_RELSTORE_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "relstore/sql_ast.h"
+
+namespace orpheus::rel {
+
+// Parses one statement (optionally terminated by ';').
+Result<std::unique_ptr<Statement>> ParseSql(std::string_view sql);
+
+}  // namespace orpheus::rel
+
+#endif  // ORPHEUS_RELSTORE_PARSER_H_

@@ -1,0 +1,76 @@
+#include "relstore/schema.h"
+
+#include "common/str_util.h"
+
+namespace orpheus::rel {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int> Schema::Resolve(const std::string& ref) const {
+  int exact = FindColumn(ref);
+  if (exact >= 0) return exact;
+  if (ref.find('.') == std::string::npos) {
+    int found = -1;
+    std::string suffix = "." + ref;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      const std::string& name = columns_[i].name;
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        if (found >= 0) {
+          return Status::InvalidArgument("ambiguous column reference: " + ref);
+        }
+        found = static_cast<int>(i);
+      }
+    }
+    if (found >= 0) return found;
+  }
+  return Status::NotFound("column not found: " + ref);
+}
+
+Schema Schema::Qualified(const std::string& qualifier) const {
+  Schema out;
+  for (const ColumnDef& col : columns_) {
+    // Re-qualify from scratch: strip any existing prefix first.
+    size_t dot = col.name.rfind('.');
+    std::string base = dot == std::string::npos ? col.name : col.name.substr(dot + 1);
+    out.AddColumn(qualifier + "." + base, col.type);
+  }
+  return out;
+}
+
+Schema Schema::Unqualified() const {
+  Schema out;
+  for (const ColumnDef& col : columns_) {
+    size_t dot = col.name.rfind('.');
+    out.AddColumn(dot == std::string::npos ? col.name : col.name.substr(dot + 1),
+                  col.type);
+  }
+  return out;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const ColumnDef& col : columns_) {
+    parts.push_back(col.name + " " + DataTypeName(col.type));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace orpheus::rel

@@ -1,0 +1,59 @@
+// Schema: an ordered list of named, typed columns. Used both for base
+// tables and for intermediate query results (where names may be
+// qualified as "alias.column").
+
+#ifndef ORPHEUS_RELSTORE_SCHEMA_H_
+#define ORPHEUS_RELSTORE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relstore/types.h"
+
+namespace orpheus::rel {
+
+struct ColumnDef {
+  std::string name;
+  DataType type;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(std::string name, DataType type) {
+    columns_.push_back({std::move(name), type});
+  }
+
+  // Exact-name lookup; -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  // SQL-style resolution: exact match first; otherwise, for an
+  // unqualified `ref`, matches any column named "<something>.ref".
+  // Returns kNotFound / kInvalidArgument("ambiguous") on failure.
+  Result<int> Resolve(const std::string& ref) const;
+
+  // Renames all columns to "qualifier.name" (used when a table enters
+  // a FROM clause under an alias).
+  Schema Qualified(const std::string& qualifier) const;
+
+  // Strips any "alias." prefixes (used when materializing SELECT INTO).
+  Schema Unqualified() const;
+
+  bool Equals(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace orpheus::rel
+
+#endif  // ORPHEUS_RELSTORE_SCHEMA_H_

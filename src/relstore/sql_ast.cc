@@ -1,0 +1,119 @@
+#include "relstore/sql_ast.h"
+
+namespace orpheus::rel {
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeColumn(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->args.push_back(std::move(l));
+  e->args.push_back(std::move(r));
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnOp op, ExprPtr x) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->args.push_back(std::move(x));
+  return e;
+}
+
+ExprPtr Expr::MakeFunc(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunc;
+  e->func_name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+bool Expr::IsAggregate() const {
+  if (kind != ExprKind::kFunc) return false;
+  return func_name == "count" || func_name == "sum" || func_name == "avg" ||
+         func_name == "min" || func_name == "max";
+}
+
+namespace {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "AND";
+    case BinOp::kOr: return "OR";
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kContains: return "<@";
+    case BinOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.type() == DataType::kString ? "'" + literal.ToString() + "'"
+                                                 : literal.ToString();
+    case ExprKind::kColumnRef:
+      return column;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kBinary:
+      return "(" + args[0]->ToString() + " " + BinOpName(bin_op) + " " +
+             args[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      return std::string(un_op == UnOp::kNot ? "NOT " : "-") + args[0]->ToString();
+    case ExprKind::kFunc: {
+      std::string out = func_name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kArrayLiteral: {
+      std::string out = "ARRAY[";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      return out + "]";
+    }
+    case ExprKind::kArraySubquery:
+      return "ARRAY(<subquery>)";
+    case ExprKind::kInSubquery:
+      return args[0]->ToString() + " IN (<subquery>)";
+  }
+  return "?";
+}
+
+}  // namespace orpheus::rel

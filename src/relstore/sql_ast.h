@@ -1,0 +1,149 @@
+// Abstract syntax tree for the relstore SQL dialect.
+//
+// The dialect covers what OrpheusDB's query translator emits (the
+// paper's Table 1 plus versioned-query rewrites): SELECT [INTO] with
+// comma joins, subqueries in FROM, WHERE with array containment `<@`,
+// `unnest`, `IN (subquery)`, aggregates with GROUP BY, ORDER BY/LIMIT,
+// INSERT (VALUES / SELECT / ARRAY(subquery)), UPDATE with array append,
+// DELETE, CREATE/DROP TABLE, CREATE INDEX, and CLUSTER BY.
+
+#ifndef ORPHEUS_RELSTORE_SQL_AST_H_
+#define ORPHEUS_RELSTORE_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "relstore/schema.h"
+#include "relstore/value.h"
+
+namespace orpheus::rel {
+
+struct SelectStmt;
+
+enum class ExprKind {
+  kLiteral,        // 42, 1.5, 'text', NULL
+  kColumnRef,      // col or alias.col
+  kStar,           // * (select list and COUNT(*) only)
+  kBinary,         // l <op> r
+  kUnary,          // NOT x, -x
+  kFunc,           // name(args...); includes aggregates and unnest
+  kArrayLiteral,   // ARRAY[e1, e2, ...]
+  kArraySubquery,  // ARRAY(SELECT single-col ...)
+  kInSubquery,     // lhs IN (SELECT single-col ...)
+};
+
+enum class BinOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kContains,  // <@ : left array contained in right array
+  kConcat,    // || : array/string concatenation
+};
+
+enum class UnOp { kNot, kNeg };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  Value literal;                         // kLiteral
+  std::string column;                    // kColumnRef (as written);
+                                         // for kStar: optional qualifier
+                                         // ("t" in `SELECT t.*`)
+  BinOp bin_op = BinOp::kEq;             // kBinary
+  UnOp un_op = UnOp::kNot;               // kUnary
+  std::string func_name;                 // kFunc, lowercased
+  std::vector<ExprPtr> args;             // operands / func args / array elems
+  std::unique_ptr<SelectStmt> subquery;  // kInSubquery/kArraySubquery
+
+  // Filled by the executor's binder: resolved column position within
+  // the chunk the expression currently evaluates against.
+  int bound_col = -1;
+
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeColumn(std::string name);
+  static ExprPtr MakeStar();
+  static ExprPtr MakeBinary(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr MakeUnary(UnOp op, ExprPtr x);
+  static ExprPtr MakeFunc(std::string name, std::vector<ExprPtr> args);
+
+  // True for count/sum/avg/min/max calls (not for their arguments).
+  bool IsAggregate() const;
+
+  std::string ToString() const;
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty if none
+};
+
+struct TableRef {
+  std::string name;                      // base table, or empty
+  std::string alias;                     // optional; defaults to name
+  std::unique_ptr<SelectStmt> subquery;  // set iff derived table
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::string into_table;  // SELECT ... INTO <table>; empty if none
+  std::vector<TableRef> from;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  // Evaluated over the aggregated output schema (aliases visible).
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kInsert,
+    kUpdate,
+    kDelete,
+    kCreateTable,
+    kDropTable,
+    kCreateIndex,
+    kClusterBy,
+  };
+
+  Kind kind;
+
+  std::unique_ptr<SelectStmt> select;  // kSelect
+
+  std::string table;  // target of DML/DDL
+
+  // INSERT
+  std::vector<std::string> columns;           // optional column list
+  std::vector<std::vector<ExprPtr>> values;   // VALUES rows
+  std::unique_ptr<SelectStmt> insert_select;  // INSERT ... SELECT
+
+  // UPDATE
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // UPDATE/DELETE predicate
+
+  // CREATE TABLE
+  std::vector<ColumnDef> column_defs;
+  std::vector<std::string> primary_key;
+  bool if_exists = false;      // DROP TABLE IF EXISTS
+  bool if_not_exists = false;  // CREATE TABLE IF NOT EXISTS
+
+  // CREATE INDEX / CLUSTER BY column
+  std::string index_column;
+};
+
+}  // namespace orpheus::rel
+
+#endif  // ORPHEUS_RELSTORE_SQL_AST_H_

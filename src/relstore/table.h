@@ -1,0 +1,103 @@
+// Table: a named base relation — columnar payload plus primary key,
+// secondary indexes, and a physical-clustering marker.
+//
+// Physical model. relstore is an in-memory engine, but the paper's
+// cost analysis (Appendix D.1) is about page I/O, so tables expose a
+// simple page model: rows live in insertion order (or sorted by the
+// clustering column after ClusterBy), packed `rows_per_page()` to a
+// page. The executor counts page touches against this model so the
+// Figure 19 experiments can report modeled I/O alongside wall time.
+//
+// Index maintenance is lazy: DML invalidates, the next lookup rebuilds.
+// This matches the access pattern of OrpheusDB (bulk commit, then many
+// checkouts).
+
+#ifndef ORPHEUS_RELSTORE_TABLE_H_
+#define ORPHEUS_RELSTORE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relstore/chunk.h"
+
+namespace orpheus::rel {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema, std::vector<std::string> primary_key);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return chunk_.schema(); }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+
+  const Chunk& chunk() const { return chunk_; }
+  Chunk& mutable_chunk() {
+    InvalidateIndexes();
+    return chunk_;
+  }
+  // Read-only access that does not invalidate indexes.
+  const Chunk& data() const { return chunk_; }
+
+  size_t num_rows() const { return chunk_.num_rows(); }
+
+  // --- DML helpers -------------------------------------------------
+
+  Status AppendRow(const std::vector<Value>& values);
+
+  // Schema evolution (the middleware's ALTER TABLE equivalents).
+  Status AddColumn(const std::string& name, DataType type);
+  Status AlterColumnType(const std::string& name, DataType new_type);
+
+  // --- Indexing ----------------------------------------------------
+
+  // Declares a (non-unique) index on an INT column. Building is lazy.
+  Status DeclareIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const;
+
+  // Row positions whose `column` equals `key`; empty if none.
+  // Builds the index on first use after a modification.
+  const std::vector<uint32_t>* LookupInt(const std::string& column, int64_t key);
+
+  void InvalidateIndexes();
+
+  // --- Physical layout ---------------------------------------------
+
+  // Sorts rows by an INT column and records it as the clustering key.
+  Status ClusterBy(const std::string& column);
+  const std::string& clustered_on() const { return clustered_on_; }
+
+  // Page model: how many rows share a (simulated) 8 KiB page, derived
+  // from the average row width.
+  int64_t rows_per_page() const;
+  int64_t num_pages() const;
+  // Page number of a row position under the current physical order.
+  int64_t PageOfRow(size_t row) const { return static_cast<int64_t>(row) / rows_per_page(); }
+
+  int64_t ByteSize() const;
+
+  // Approximate index footprint (hash buckets + postings), counted into
+  // storage sizes as the paper does ("we count the index size as well").
+  int64_t IndexByteSize() const;
+
+ private:
+  struct IntIndex {
+    bool built = false;
+    std::unordered_map<int64_t, std::vector<uint32_t>> map;
+  };
+
+  Status BuildIndex(const std::string& column, IntIndex* index);
+
+  std::string name_;
+  Chunk chunk_;
+  std::vector<std::string> primary_key_;
+  std::unordered_map<std::string, IntIndex> indexes_;
+  std::string clustered_on_;
+};
+
+}  // namespace orpheus::rel
+
+#endif  // ORPHEUS_RELSTORE_TABLE_H_

@@ -1,0 +1,46 @@
+#include "relstore/types.h"
+
+#include "common/str_util.h"
+
+namespace orpheus::rel {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return "INT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "TEXT";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kIntArray:
+      return "INT[]";
+  }
+  return "UNKNOWN";
+}
+
+DataType DataTypeFromName(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "int" || lower == "integer" || lower == "bigint" || lower == "int64") {
+    return DataType::kInt64;
+  }
+  if (lower == "double" || lower == "float" || lower == "real" ||
+      lower == "decimal" || lower == "numeric") {
+    return DataType::kDouble;
+  }
+  if (lower == "text" || lower == "string" || lower == "varchar") {
+    return DataType::kString;
+  }
+  if (lower == "bool" || lower == "boolean") {
+    return DataType::kBool;
+  }
+  if (lower == "int[]" || lower == "integer[]" || lower == "intarray") {
+    return DataType::kIntArray;
+  }
+  return DataType::kNull;
+}
+
+}  // namespace orpheus::rel

@@ -1,0 +1,38 @@
+// Data types supported by the relstore engine.
+//
+// The set mirrors what OrpheusDB needs from its backing database
+// (PostgreSQL in the paper): scalars for data attributes plus an
+// integer-array type used for the `vlist`/`rlist` versioning columns.
+
+#ifndef ORPHEUS_RELSTORE_TYPES_H_
+#define ORPHEUS_RELSTORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orpheus::rel {
+
+// Sorted-or-not is a property of how arrays are used, not of the type;
+// `vlist` arrays are kept sorted by the middleware so `<@` can binary
+// search.
+using IntArray = std::vector<int64_t>;
+
+enum class DataType {
+  kNull = 0,  // type of untyped NULL literals only; not a column type
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+  kIntArray,
+};
+
+// SQL spelling of a type ("INT", "INT[]", ...).
+const char* DataTypeName(DataType type);
+
+// Parses a SQL type name (case-insensitive); returns kNull if unknown.
+DataType DataTypeFromName(const std::string& name);
+
+}  // namespace orpheus::rel
+
+#endif  // ORPHEUS_RELSTORE_TYPES_H_

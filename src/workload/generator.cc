@@ -1,0 +1,267 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace orpheus::wl {
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+std::string HumanCount(int64_t n) {
+  if (n >= 1000000) return std::to_string(n / 1000000) + "M";
+  if (n >= 1000) return std::to_string(n / 1000) + "K";
+  return std::to_string(n);
+}
+
+// A branch tip: the live working copy of one contributor.
+struct Branch {
+  VersionId tip = 0;
+  // Logical key -> current rid. Updates keep the key, swap the rid.
+  std::unordered_map<int64_t, RecordId> live;
+  std::vector<int64_t> keys;  // for O(1) random key selection
+};
+
+}  // namespace
+
+std::string DatasetSpec::Name() const {
+  int64_t approx =
+      static_cast<int64_t>(num_versions) * inserts_per_version;
+  return std::string(kind == WorkloadKind::kSci ? "SCI" : "CUR") + "_" +
+         HumanCount(approx);
+}
+
+int64_t Dataset::AttrValue(RecordId rid, int attr) {
+  // 4-byte integers, as in the paper's datasets.
+  return static_cast<int64_t>(
+      Mix(static_cast<uint64_t>(rid) * 1000003ULL +
+          static_cast<uint64_t>(attr)) &
+      0x7fffffffULL);
+}
+
+rel::Schema Dataset::DataSchema() const {
+  rel::Schema schema;
+  schema.AddColumn("k", rel::DataType::kInt64);
+  for (int a = 1; a < spec_.num_attrs; ++a) {
+    schema.AddColumn("a" + std::to_string(a), rel::DataType::kInt64);
+  }
+  return schema;
+}
+
+rel::Chunk Dataset::RowsFor(const std::vector<RecordId>& rids) const {
+  rel::Chunk rows(DataSchema());
+  for (int c = 0; c < rows.num_columns(); ++c) {
+    rel::Column& col = rows.mutable_column(c);
+    if (c == 0) {
+      for (RecordId rid : rids) col.AppendInt(rid_to_key_[static_cast<size_t>(rid)]);
+    } else {
+      for (RecordId rid : rids) col.AppendInt(AttrValue(rid, c));
+    }
+  }
+  return rows;
+}
+
+rel::Chunk Dataset::AllRecordRows() const {
+  rel::Schema schema;
+  schema.AddColumn("rid", rel::DataType::kInt64);
+  const rel::Schema data_schema = DataSchema();
+  for (const rel::ColumnDef& def : data_schema.columns()) {
+    schema.AddColumn(def.name, def.type);
+  }
+  rel::Chunk rows(schema);
+  for (int c = 0; c < rows.num_columns(); ++c) {
+    rel::Column& col = rows.mutable_column(c);
+    for (RecordId rid = 0; rid < num_records_; ++rid) {
+      if (c == 0) {
+        col.AppendInt(rid);
+      } else if (c == 1) {
+        col.AppendInt(rid_to_key_[static_cast<size_t>(rid)]);
+      } else {
+        col.AppendInt(AttrValue(rid, c - 1));
+      }
+    }
+  }
+  return rows;
+}
+
+core::VersionGraph Dataset::BuildGraph() const {
+  core::VersionGraph graph;
+  for (const VersionSpec& v : versions_) {
+    (void)graph.AddVersion(v.vid, v.parents, v.parent_weights,
+                           static_cast<int64_t>(v.rids.size()));
+  }
+  return graph;
+}
+
+part::BipartiteGraph Dataset::BuildBipartite() const {
+  std::vector<VersionId> vids;
+  std::vector<std::vector<RecordId>> records;
+  vids.reserve(versions_.size());
+  records.reserve(versions_.size());
+  for (const VersionSpec& v : versions_) {
+    vids.push_back(v.vid);
+    records.push_back(v.rids);
+  }
+  return part::BipartiteGraph::FromVersionSets(std::move(vids),
+                                               std::move(records));
+}
+
+Dataset Generate(const DatasetSpec& spec) {
+  Dataset out;
+  out.spec_ = spec;
+  Rng rng(spec.seed);
+
+  RecordId next_rid = 0;
+  int64_t next_key = 0;
+  std::vector<int64_t>& rid_to_key = out.rid_to_key_;
+
+  auto new_record = [&](int64_t key) {
+    rid_to_key.push_back(key);
+    return next_rid++;
+  };
+
+  std::vector<Branch> branches;
+  VersionId next_vid = 1;
+
+  auto snapshot = [&](Branch& branch, std::vector<VersionId> parents,
+                      std::vector<int64_t> weights) {
+    VersionSpec v;
+    v.vid = next_vid++;
+    v.parents = std::move(parents);
+    v.parent_weights = std::move(weights);
+    v.rids.reserve(branch.live.size());
+    for (const auto& [key, rid] : branch.live) v.rids.push_back(rid);
+    std::sort(v.rids.begin(), v.rids.end());
+    branch.tip = v.vid;
+    out.num_edges_ += static_cast<int64_t>(v.rids.size());
+    out.versions_.push_back(std::move(v));
+  };
+
+  auto remove_key = [&](Branch& branch, size_t key_index) {
+    int64_t key = branch.keys[key_index];
+    branch.keys[key_index] = branch.keys.back();
+    branch.keys.pop_back();
+    branch.live.erase(key);
+  };
+
+  // Applies I edit operations to a branch's working copy. Returns the
+  // number of parent records retained (the edge weight).
+  auto apply_ops = [&](Branch& branch) {
+    int64_t parent_size = static_cast<int64_t>(branch.live.size());
+    // Records created during this version's edits have rid >=
+    // first_new_rid; removing one of those does not reduce the overlap
+    // with the parent.
+    RecordId first_new_rid = next_rid;
+    int64_t parent_removed = 0;
+    for (int op = 0; op < spec.inserts_per_version; ++op) {
+      double roll = rng.NextDouble();
+      if (roll < spec.delete_fraction && !branch.keys.empty()) {
+        size_t key_index = rng.Uniform(branch.keys.size());
+        if (branch.live[branch.keys[key_index]] < first_new_rid) ++parent_removed;
+        remove_key(branch, key_index);
+      } else if (roll < spec.delete_fraction + spec.update_fraction &&
+                 !branch.keys.empty()) {
+        int64_t key = branch.keys[rng.Uniform(branch.keys.size())];
+        if (branch.live[key] < first_new_rid) ++parent_removed;
+        branch.live[key] = new_record(key);  // same key, new record
+      } else {
+        int64_t key = next_key++;
+        branch.keys.push_back(key);
+        branch.live[key] = new_record(key);
+      }
+    }
+    return parent_size - parent_removed;
+  };
+
+  // Root version: I fresh records on the mainline.
+  {
+    Branch mainline;
+    for (int i = 0; i < spec.inserts_per_version; ++i) {
+      int64_t key = next_key++;
+      mainline.keys.push_back(key);
+      mainline.live[key] = new_record(key);
+    }
+    snapshot(mainline, {}, {});
+    branches.push_back(std::move(mainline));
+  }
+
+  double branch_probability =
+      std::min(1.0, 1.5 * static_cast<double>(spec.num_branches) /
+                        static_cast<double>(std::max(1, spec.num_versions)));
+
+  while (next_vid <= spec.num_versions) {
+    bool may_branch = static_cast<int>(branches.size()) < spec.num_branches;
+    bool may_merge = spec.kind == WorkloadKind::kCur && branches.size() >= 2;
+
+    if (may_merge && rng.Bernoulli(spec.merge_probability)) {
+      // Merge branch b into branch a (precedence: a wins conflicts).
+      size_t ai = rng.Uniform(branches.size());
+      size_t bi = rng.Uniform(branches.size());
+      if (bi == ai) bi = (bi + 1) % branches.size();
+      Branch& a = branches[ai];
+      Branch& b = branches[bi];
+      int64_t b_only = 0;           // records of b absent from a
+      int64_t shared_identical = 0; // same record reachable via both
+      for (const auto& [key, rid] : b.live) {
+        auto it = a.live.find(key);
+        if (it == a.live.end()) {
+          a.live[key] = rid;
+          a.keys.push_back(key);
+          ++b_only;
+        } else if (it->second == rid) {
+          ++shared_identical;
+        }
+      }
+      // Every record of a survives (precedence), so w(a, merge) = |a|
+      // before the union; w(b, merge) counts b's surviving records.
+      int64_t weight_a = static_cast<int64_t>(a.live.size()) - b_only;
+      int64_t weight_b = b_only + shared_identical;
+      // |R^|: records inherited only through the edge the DAG->tree
+      // conversion drops (the lighter one).
+      out.duplicated_ += weight_a >= weight_b
+                             ? b_only
+                             : weight_a - shared_identical;
+      snapshot(a, {a.tip, b.tip}, {weight_a, weight_b});
+      // The contributor behind b re-syncs with the merged state (so
+      // later merges carry only fresh divergence, keeping |R^| a small
+      // fraction of |R| as in the benchmark's Table 2 datasets).
+      b.live = a.live;
+      b.keys = a.keys;
+      b.tip = a.tip;
+      continue;
+    }
+
+    if (may_branch && rng.Bernoulli(branch_probability)) {
+      // New branch: fork a random existing branch, then edit.
+      size_t src = rng.Uniform(branches.size());
+      Branch fork = branches[src];  // copy of the working state
+      VersionId parent = fork.tip;
+      int64_t weight = apply_ops(fork);
+      snapshot(fork, {parent}, {weight});
+      branches.push_back(std::move(fork));
+      continue;
+    }
+
+    // Continue a random branch.
+    Branch& branch = branches[rng.Uniform(branches.size())];
+    VersionId parent = branch.tip;
+    int64_t weight = apply_ops(branch);
+    snapshot(branch, {parent}, {weight});
+  }
+
+  out.num_records_ = next_rid;
+  return out;
+}
+
+}  // namespace orpheus::wl

@@ -1,0 +1,104 @@
+// Versioning-benchmark dataset generator, after Maddox et al. [37]
+// (the benchmark the paper evaluates on, §5.1).
+//
+// Two workloads:
+//   SCI — data scientists take copies of an evolving dataset for
+//         isolated analysis: a mainline with branches sprouting from
+//         the mainline and from other branches. The version graph is
+//         a tree.
+//   CUR — curators of a canonical dataset branch AND periodically
+//         merge their changes back, producing a DAG.
+//
+// Parameters mirror Table 2: number of versions |V|, number of
+// branches B, inserts-per-version I, plus update/delete fractions.
+// Records carry `num_attrs` integer attributes whose values are
+// derived deterministically from the rid, so record content never
+// needs to be stored by the generator.
+
+#ifndef ORPHEUS_WORKLOAD_GENERATOR_H_
+#define ORPHEUS_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/version_graph.h"
+#include "partition/bipartite.h"
+#include "relstore/chunk.h"
+
+namespace orpheus::wl {
+
+using core::RecordId;
+using core::VersionId;
+
+enum class WorkloadKind { kSci, kCur };
+
+struct DatasetSpec {
+  WorkloadKind kind = WorkloadKind::kSci;
+  int num_versions = 1000;     // |V|
+  int num_branches = 100;      // B
+  int inserts_per_version = 1000;  // I
+  int num_attrs = 100;         // integer data attributes per record
+  double update_fraction = 0.15;   // share of I ops that are updates
+  double delete_fraction = 0.01;   // share of I ops that are deletes
+  double merge_probability = 0.05;  // CUR only: chance a step merges
+  uint64_t seed = 7;
+
+  // Conventional name, e.g. "SCI_1M" style.
+  std::string Name() const;
+};
+
+struct VersionSpec {
+  VersionId vid;
+  std::vector<VersionId> parents;        // 1 parent, or 2 for CUR merges
+  std::vector<int64_t> parent_weights;   // shared records per parent
+  std::vector<RecordId> rids;            // full record list, sorted
+};
+
+class Dataset {
+ public:
+  const DatasetSpec& spec() const { return spec_; }
+  const std::vector<VersionSpec>& versions() const { return versions_; }
+  int64_t num_records() const { return num_records_; }  // |R| distinct
+  int64_t num_edges() const { return num_edges_; }      // |E|
+  int64_t duplicated_records() const { return duplicated_; }  // |R^| (DAGs)
+
+  // The version graph with shared-record edge weights.
+  core::VersionGraph BuildGraph() const;
+
+  // The version-record bipartite graph (copies the rid lists).
+  part::BipartiteGraph BuildBipartite() const;
+
+  // Record content: attribute j of record `rid` (deterministic).
+  static int64_t AttrValue(RecordId rid, int attr);
+
+  // Schema of the generated relation: k (a synthetic key) followed by
+  // a1..a<num_attrs-1> integer attributes.
+  rel::Schema DataSchema() const;
+
+  // Materializes the rows of a record list (no rid column), matching
+  // DataSchema().
+  rel::Chunk RowsFor(const std::vector<RecordId>& rids) const;
+
+  // Materializes rid + data rows — the shape of a CVD data table.
+  // Useful for loading the full record universe at once.
+  rel::Chunk AllRecordRows() const;
+
+ private:
+  friend Dataset Generate(const DatasetSpec& spec);
+
+  DatasetSpec spec_;
+  std::vector<VersionSpec> versions_;
+  std::vector<int64_t> rid_to_key_;  // rid -> logical key (the PK value)
+  int64_t num_records_ = 0;
+  int64_t num_edges_ = 0;
+  int64_t duplicated_ = 0;
+};
+
+// Generates a dataset; deterministic in spec.seed.
+Dataset Generate(const DatasetSpec& spec);
+
+}  // namespace orpheus::wl
+
+#endif  // ORPHEUS_WORKLOAD_GENERATOR_H_

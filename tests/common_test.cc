@@ -1,0 +1,159 @@
+// Unit tests for the common module: Status/Result, string helpers,
+// RNG determinism, and flag parsing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace orpheus {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, EachFactoryProducesItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ConstraintViolation("x").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+}
+
+Result<int> ReturnsValue() { return 42; }
+Result<int> ReturnsError() { return Status::InvalidArgument("nope"); }
+
+Result<int> UsesAssignOrReturn() {
+  ORPHEUS_ASSIGN_OR_RETURN(int v, ReturnsValue());
+  return v + 1;
+}
+
+Result<int> PropagatesError() {
+  ORPHEUS_ASSIGN_OR_RETURN(int v, ReturnsError());
+  return v + 1;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r = ReturnsValue();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, ErrorPath) {
+  Result<int> r = ReturnsError();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = UsesAssignOrReturn();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 43);
+  Result<int> err = PropagatesError();
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(StrUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StrUtilTest, SplitWhitespace) {
+  auto parts = SplitWhitespace("  checkout  -v 3\t-t foo ");
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "checkout");
+  EXPECT_EQ(parts[4], "foo");
+}
+
+TEST(StrUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("VERSION", "version"));
+  EXPECT_FALSE(EqualsIgnoreCase("vid", "vids"));
+  EXPECT_TRUE(StartsWith("checkout -v", "check"));
+}
+
+TEST(StrUtilTest, TrimAndFormat) {
+  EXPECT_EQ(Trim("  x \n"), "x");
+  EXPECT_EQ(StrFormat("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(WithThousandsSep(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandsSep(-42), "-42");
+  EXPECT_EQ(WithThousandsSep(0), "0");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(FlagsTest, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=1", "--beta", "2.5", "--gamma", "pos"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 1);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0), 2.5);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_EQ(flags.GetString("missing", "d"), "d");
+  ASSERT_EQ(flags.positional().size(), 0u);  // "pos" consumed by --gamma
+}
+
+TEST(FlagsTest, PositionalAndBoolFalse) {
+  const char* argv[] = {"prog", "cmd", "--flag=false"};
+  Flags flags(3, const_cast<char**>(argv));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "cmd");
+  EXPECT_FALSE(flags.GetBool("flag", true));
+}
+
+}  // namespace
+}  // namespace orpheus

@@ -1,0 +1,162 @@
+// Tests for the OrpheusDB facade and the versioned-SQL query
+// translator (VERSION ... OF CVD ... constructs).
+
+#include <gtest/gtest.h>
+
+#include "core/orpheus.h"
+
+namespace orpheus::core {
+namespace {
+
+rel::Chunk SampleRows(int n, int offset = 0) {
+  rel::Schema schema({{"k", rel::DataType::kInt64},
+                      {"score", rel::DataType::kInt64}});
+  rel::Chunk rows(schema);
+  for (int i = 0; i < n; ++i) {
+    rows.AppendRow({rel::Value::Int(i + offset), rel::Value::Int(10 * (i + offset))});
+  }
+  return rows;
+}
+
+class OrpheusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CvdOptions options;
+    options.primary_key = {"k"};
+    auto cvd = orpheus_.InitCvd("numbers", SampleRows(5), options, "v1");
+    ASSERT_TRUE(cvd.ok()) << cvd.status().ToString();
+    cvd_ = cvd.value();
+    // v2: add five more rows.
+    ASSERT_TRUE(cvd_->Checkout({1}, "w").ok());
+    for (int i = 5; i < 10; ++i) {
+      ASSERT_TRUE(orpheus_.db()
+                      ->Execute("INSERT INTO w VALUES (0, " + std::to_string(i) +
+                                ", " + std::to_string(10 * i) + ")")
+                      .ok());
+    }
+    auto v2 = cvd_->Commit("w", "v2");
+    ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  }
+
+  OrpheusDB orpheus_;
+  Cvd* cvd_ = nullptr;
+};
+
+TEST_F(OrpheusTest, UsersAndLogin) {
+  EXPECT_EQ(orpheus_.WhoAmI(), "default");
+  ASSERT_TRUE(orpheus_.CreateUser("alice").ok());
+  EXPECT_EQ(orpheus_.CreateUser("alice").code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(orpheus_.Login("alice").ok());
+  EXPECT_EQ(orpheus_.WhoAmI(), "alice");
+  EXPECT_EQ(orpheus_.Login("bob").code(), StatusCode::kNotFound);
+}
+
+TEST_F(OrpheusTest, ListAndDropCvds) {
+  auto names = orpheus_.ListCvds();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "numbers");
+  ASSERT_TRUE(orpheus_.DropCvd("numbers").ok());
+  EXPECT_TRUE(orpheus_.ListCvds().empty());
+  // Backing tables are gone too.
+  EXPECT_FALSE(orpheus_.db()->HasTable("numbers_data"));
+  EXPECT_FALSE(orpheus_.db()->HasTable("numbers_meta"));
+}
+
+TEST_F(OrpheusTest, RunSingleVersionQuery) {
+  auto r = orpheus_.Run("SELECT count(*) FROM VERSION 1 OF CVD numbers");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 5);
+  auto r2 = orpheus_.Run("SELECT count(*) FROM VERSION 2 OF CVD numbers");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().Get(0, 0).AsInt(), 10);
+}
+
+TEST_F(OrpheusTest, RunWithPredicateAndAlias) {
+  auto r = orpheus_.Run(
+      "SELECT v.k FROM VERSION 2 OF CVD numbers AS v WHERE v.score >= 80 "
+      "ORDER BY v.k");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 2u);
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 8);
+}
+
+TEST_F(OrpheusTest, RunJoinAcrossVersions) {
+  auto r = orpheus_.Run(
+      "SELECT count(*) FROM VERSION 1 OF CVD numbers AS a, "
+      "VERSION 2 OF CVD numbers AS b WHERE a.k = b.k");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 5);  // v1 is a subset of v2
+}
+
+TEST_F(OrpheusTest, RunAggregatePerVersion) {
+  // The paper's motivating query shape: an aggregate grouped by
+  // version across the whole CVD.
+  auto r = orpheus_.Run(
+      "SELECT vid, count(*) AS cnt FROM CVD numbers GROUP BY vid ORDER BY vid");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 2u);
+  EXPECT_EQ(r.value().Get(0, 1).AsInt(), 5);
+  EXPECT_EQ(r.value().Get(1, 1).AsInt(), 10);
+}
+
+TEST_F(OrpheusTest, RunVersionSelectionViaHaving) {
+  // "Find versions with more than 7 records."
+  auto r = orpheus_.Run(
+      "SELECT vid, count(*) AS cnt FROM CVD numbers GROUP BY vid HAVING cnt > 7");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 2);
+}
+
+TEST_F(OrpheusTest, RunUnknownCvdFails) {
+  EXPECT_EQ(orpheus_.Run("SELECT * FROM VERSION 1 OF CVD nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(OrpheusTest, PlainSqlPassesThrough) {
+  auto r = orpheus_.Run("SELECT 1 + 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 2);
+}
+
+TEST(TranslatorTest, TextualRewrite) {
+  TableResolver resolver = [](const std::string& name, VersionId vid)
+      -> Result<std::pair<std::string, std::string>> {
+    (void)vid;
+    return std::make_pair(name + "_data", name + "_rlist");
+  };
+  auto r = TranslateVersionedSql(
+      "SELECT * FROM VERSION 3 OF CVD p WHERE x > 2", resolver);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.value().find("p_data"), std::string::npos);
+  EXPECT_NE(r.value().find("vid = 3"), std::string::npos);
+  EXPECT_NE(r.value().find("WHERE x > 2"), std::string::npos);
+  // A generated alias is appended for derived tables.
+  EXPECT_NE(r.value().find("AS orpheus_cvd0"), std::string::npos);
+}
+
+TEST(TranslatorTest, KeepsUserAlias) {
+  TableResolver resolver = [](const std::string& name, VersionId vid)
+      -> Result<std::pair<std::string, std::string>> {
+    (void)vid;
+    return std::make_pair(name + "_d", name + "_v");
+  };
+  auto r = TranslateVersionedSql("SELECT a.x FROM VERSION 1 OF CVD c AS a", resolver);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().find("orpheus_cvd"), std::string::npos);
+  EXPECT_NE(r.value().find("AS a"), std::string::npos);
+}
+
+TEST(TranslatorTest, NoConstructsNoChange) {
+  TableResolver resolver = [](const std::string&, VersionId)
+      -> Result<std::pair<std::string, std::string>> {
+    return Status::Internal("must not be called");
+  };
+  const std::string sql = "SELECT version FROM releases WHERE cvdish = 1";
+  auto r = TranslateVersionedSql(sql, resolver);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), sql);
+}
+
+}  // namespace
+}  // namespace orpheus::core

@@ -1,0 +1,337 @@
+// Tests for the partition optimizer: bipartite cost model, LYRESPLIT
+// (including its ((1+δ)^ℓ, 1/δ) guarantee as a parameterized property
+// test over generated workloads), the AGGLO/KMEANS baselines, and
+// dominance of LYRESPLIT at equal storage.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "partition/baselines.h"
+#include "partition/lyresplit.h"
+#include "workload/generator.h"
+
+namespace orpheus::part {
+namespace {
+
+// The paper's Figure 6 bipartite graph (from Figure 1's data).
+BipartiteGraph Figure6Graph() {
+  return BipartiteGraph::FromVersionSets(
+      {1, 2, 3, 4},
+      {{1, 2, 3}, {2, 3, 4}, {3, 5, 6, 7}, {2, 3, 4, 5, 6, 7}});
+}
+
+TEST(BipartiteTest, CountsMatchFigure6) {
+  BipartiteGraph g = Figure6Graph();
+  EXPECT_EQ(g.num_versions(), 4u);
+  EXPECT_EQ(g.num_records(), 7);
+  EXPECT_EQ(g.num_edges(), 3 + 3 + 4 + 6);
+  EXPECT_DOUBLE_EQ(g.MinCheckoutCost(), 16.0 / 4.0);
+}
+
+TEST(BipartiteTest, PartitioningCostsMatchFigure6b) {
+  // Figure 6(b): P1 = {v1, v2}, P2 = {v3, v4}; r2, r3, r4 duplicated.
+  BipartiteGraph g = Figure6Graph();
+  Partitioning p;
+  p.groups = {{1, 2}, {3, 4}};
+  ASSERT_TRUE(p.ComputeCosts(g).ok());
+  EXPECT_EQ(p.partition_records[0], 4);  // {r1..r4}
+  EXPECT_EQ(p.partition_records[1], 6);  // {r2..r7}
+  EXPECT_EQ(p.storage_cost, 10);
+  EXPECT_DOUBLE_EQ(p.avg_checkout_cost, (2 * 4 + 2 * 6) / 4.0);
+}
+
+TEST(BipartiteTest, SinglePartitionMinimizesStorage) {
+  // Observation 2: one partition gives S = |R|.
+  BipartiteGraph g = Figure6Graph();
+  Partitioning p;
+  p.groups = {{1, 2, 3, 4}};
+  ASSERT_TRUE(p.ComputeCosts(g).ok());
+  EXPECT_EQ(p.storage_cost, g.num_records());
+  EXPECT_DOUBLE_EQ(p.avg_checkout_cost, static_cast<double>(g.num_records()));
+}
+
+TEST(BipartiteTest, PerVersionPartitionsMinimizeCheckout) {
+  // Observation 1: a partition per version gives Cavg = |E| / |V|.
+  BipartiteGraph g = Figure6Graph();
+  Partitioning p;
+  p.groups = {{1}, {2}, {3}, {4}};
+  ASSERT_TRUE(p.ComputeCosts(g).ok());
+  EXPECT_EQ(p.storage_cost, g.num_edges());
+  EXPECT_DOUBLE_EQ(p.avg_checkout_cost, g.MinCheckoutCost());
+}
+
+TEST(BipartiteTest, InvalidPartitioningsRejected) {
+  BipartiteGraph g = Figure6Graph();
+  Partitioning dup;
+  dup.groups = {{1, 2}, {2, 3, 4}};
+  EXPECT_FALSE(dup.ComputeCosts(g).ok());
+  Partitioning missing;
+  missing.groups = {{1, 2}};
+  EXPECT_FALSE(missing.ComputeCosts(g).ok());
+}
+
+// --- LYRESPLIT ---------------------------------------------------------
+
+core::VersionGraph ChainGraph(int n, int64_t records, int64_t shared) {
+  core::VersionGraph g;
+  (void)g.AddVersion(1, {}, {}, records);
+  for (int i = 2; i <= n; ++i) {
+    (void)g.AddVersion(i, {i - 1}, {shared}, records);
+  }
+  return g;
+}
+
+TEST(LyreSplitTest, HighOverlapChainStaysTogether) {
+  // Every edge shares nearly everything: Lemma 1 keeps one partition.
+  core::VersionGraph g = ChainGraph(10, 100, 99);
+  auto r = LyreSplit::Run(g, 0.9);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().partitioning.num_partitions(), 1u);
+}
+
+TEST(LyreSplitTest, DisjointChainSplitsApart) {
+  // Zero-overlap edges: every version ends up alone for large δ.
+  core::VersionGraph g = ChainGraph(8, 100, 0);
+  auto r = LyreSplit::Run(g, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().partitioning.num_partitions(), 8u);
+}
+
+TEST(LyreSplitTest, InvalidDeltaRejected) {
+  core::VersionGraph g = ChainGraph(3, 10, 5);
+  EXPECT_FALSE(LyreSplit::Run(g, 0.0).ok());
+  EXPECT_FALSE(LyreSplit::Run(g, 1.5).ok());
+}
+
+TEST(LyreSplitTest, PartitionsAreConnectedSubtreesCoveringAllVersions) {
+  wl::DatasetSpec spec;
+  spec.num_versions = 200;
+  spec.num_branches = 20;
+  spec.inserts_per_version = 50;
+  spec.num_attrs = 4;
+  wl::Dataset data = wl::Generate(spec);
+  core::VersionGraph graph = data.BuildGraph();
+  auto r = LyreSplit::Run(graph, 0.5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::set<core::VersionId> seen;
+  for (const auto& group : r.value().partitioning.groups) {
+    for (core::VersionId vid : group) {
+      EXPECT_TRUE(seen.insert(vid).second) << "version in two partitions";
+    }
+  }
+  EXPECT_EQ(seen.size(), graph.num_versions());
+}
+
+TEST(LyreSplitTest, EstimatedStorageMatchesBipartiteOnTrees) {
+  // For tree version graphs the tree-model |Rk| is exact.
+  wl::DatasetSpec spec;
+  spec.num_versions = 150;
+  spec.num_branches = 15;
+  spec.inserts_per_version = 40;
+  spec.num_attrs = 3;
+  spec.delete_fraction = 0.0;  // keep it a clean insert/update tree
+  wl::Dataset data = wl::Generate(spec);
+  auto r = LyreSplit::Run(data.BuildGraph(), 0.4);
+  ASSERT_TRUE(r.ok());
+  Partitioning p = r.value().partitioning;
+  ASSERT_TRUE(p.ComputeCosts(data.BuildBipartite()).ok());
+  EXPECT_EQ(p.storage_cost, r.value().estimated_storage);
+  EXPECT_NEAR(p.avg_checkout_cost, r.value().estimated_checkout, 1e-9);
+}
+
+// Property test: Theorem 2's ((1+δ)^ℓ, 1/δ) guarantee on generated
+// SCI workloads across δ values.
+class LyreSplitGuaranteeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LyreSplitGuaranteeTest, ApproximationBoundsHold) {
+  double delta = GetParam();
+  wl::DatasetSpec spec;
+  spec.num_versions = 300;
+  spec.num_branches = 30;
+  spec.inserts_per_version = 60;
+  spec.num_attrs = 3;
+  spec.seed = 1234;
+  wl::Dataset data = wl::Generate(spec);
+  BipartiteGraph bip = data.BuildBipartite();
+  auto r = LyreSplit::Run(data.BuildGraph(), delta);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Partitioning p = r.value().partitioning;
+  ASSERT_TRUE(p.ComputeCosts(bip).ok());
+
+  // Storage: S <= (1+δ)^ℓ |R|.
+  double storage_bound =
+      std::pow(1.0 + delta, r.value().levels) * static_cast<double>(bip.num_records());
+  EXPECT_LE(static_cast<double>(p.storage_cost), storage_bound + 1e-6)
+      << "levels=" << r.value().levels;
+
+  // Checkout: Cavg <= (1/δ) |E|/|V|.
+  double checkout_bound = bip.MinCheckoutCost() / delta;
+  EXPECT_LE(p.avg_checkout_cost, checkout_bound + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaSweep, LyreSplitGuaranteeTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+TEST(LyreSplitTest, BudgetSearchRespectsGamma) {
+  wl::DatasetSpec spec;
+  spec.num_versions = 250;
+  spec.num_branches = 25;
+  spec.inserts_per_version = 50;
+  spec.num_attrs = 3;
+  wl::Dataset data = wl::Generate(spec);
+  core::VersionGraph graph = data.BuildGraph();
+  for (double factor : {1.2, 1.5, 2.0, 3.0}) {
+    int64_t gamma = static_cast<int64_t>(factor * static_cast<double>(data.num_records()));
+    auto r = LyreSplit::RunForBudget(graph, gamma);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_LE(r.value().estimated_storage, gamma) << "factor " << factor;
+    EXPECT_GT(r.value().search_iterations, 0);
+  }
+  // Infeasible budget rejected.
+  EXPECT_FALSE(LyreSplit::RunForBudget(graph, data.num_records() / 2).ok());
+}
+
+TEST(LyreSplitTest, LargerBudgetNeverWorseCheckout) {
+  wl::DatasetSpec spec;
+  spec.num_versions = 200;
+  spec.num_branches = 20;
+  spec.inserts_per_version = 50;
+  spec.num_attrs = 3;
+  wl::Dataset data = wl::Generate(spec);
+  core::VersionGraph graph = data.BuildGraph();
+  double prev_checkout = 1e18;
+  for (double factor : {1.1, 1.5, 2.0, 4.0}) {
+    int64_t gamma = static_cast<int64_t>(factor * static_cast<double>(data.num_records()));
+    auto r = LyreSplit::RunForBudget(graph, gamma);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r.value().estimated_checkout, prev_checkout * 1.05);
+    prev_checkout = r.value().estimated_checkout;
+  }
+}
+
+TEST(LyreSplitTest, DagInputsHandledViaTreeConversion) {
+  wl::DatasetSpec spec;
+  spec.kind = wl::WorkloadKind::kCur;
+  spec.num_versions = 200;
+  spec.num_branches = 20;
+  spec.inserts_per_version = 40;
+  spec.num_attrs = 3;
+  wl::Dataset data = wl::Generate(spec);
+  core::VersionGraph graph = data.BuildGraph();
+  ASSERT_FALSE(graph.IsTree());  // CUR produces merges
+  auto r = LyreSplit::Run(graph, 0.5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Partitioning p = r.value().partitioning;
+  ASSERT_TRUE(p.ComputeCosts(data.BuildBipartite()).ok());
+  EXPECT_GT(p.num_partitions(), 1u);
+}
+
+TEST(LyreSplitTest, WeightedFavorsHotVersions) {
+  // A chain where the last version is checked out very frequently:
+  // the weighted variant still covers every version exactly once.
+  core::VersionGraph g = ChainGraph(12, 100, 50);
+  std::map<core::VersionId, int64_t> freq;
+  freq[12] = 50;
+  auto r = LyreSplit::RunWeighted(g, freq, 0.5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::set<core::VersionId> seen;
+  for (const auto& group : r.value().partitioning.groups) {
+    for (core::VersionId vid : group) {
+      EXPECT_TRUE(seen.insert(vid).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+// --- Baselines ---------------------------------------------------------
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wl::DatasetSpec spec;
+    spec.num_versions = 120;
+    spec.num_branches = 12;
+    spec.inserts_per_version = 40;
+    spec.num_attrs = 3;
+    data_ = wl::Generate(spec);
+    bip_ = data_.BuildBipartite();
+  }
+  wl::Dataset data_;
+  BipartiteGraph bip_;
+};
+
+TEST_F(BaselineTest, AggloProducesValidPartitioning) {
+  AggloOptions options;
+  auto r = RunAgglo(bip_, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r.value().storage_cost, bip_.num_records());
+  EXPECT_LE(r.value().storage_cost, bip_.num_edges());
+}
+
+TEST_F(BaselineTest, AggloCapacityBoundsPartitionSizes) {
+  // A singleton version larger than BC cannot shrink, so the bound is
+  // max(BC, largest single version).
+  int64_t largest_version = 0;
+  for (VersionId vid : bip_.versions()) {
+    largest_version = std::max<int64_t>(
+        largest_version,
+        static_cast<int64_t>(bip_.RecordsOf(vid).value()->size()));
+  }
+  AggloOptions options;
+  options.capacity = 500;
+  auto r = RunAgglo(bip_, options);
+  ASSERT_TRUE(r.ok());
+  for (int64_t rk : r.value().partition_records) {
+    EXPECT_LE(rk, std::max<int64_t>(500, largest_version));
+  }
+}
+
+TEST_F(BaselineTest, KMeansProducesValidPartitioning) {
+  KMeansOptions options;
+  options.k = 6;
+  auto r = RunKMeans(bip_, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LE(r.value().num_partitions(), 6u);
+  std::set<core::VersionId> seen;
+  for (const auto& group : r.value().groups) {
+    for (core::VersionId vid : group) seen.insert(vid);
+  }
+  EXPECT_EQ(seen.size(), bip_.num_versions());
+}
+
+TEST_F(BaselineTest, BudgetedVariantsRespectGamma) {
+  int64_t gamma = 2 * bip_.num_records();
+  int iters = 0;
+  auto agglo = RunAggloForBudget(bip_, gamma, AggloOptions(), &iters);
+  ASSERT_TRUE(agglo.ok()) << agglo.status().ToString();
+  EXPECT_LE(agglo.value().storage_cost, gamma);
+  EXPECT_GT(iters, 0);
+  auto kmeans = RunKMeansForBudget(bip_, gamma, KMeansOptions(), &iters);
+  ASSERT_TRUE(kmeans.ok()) << kmeans.status().ToString();
+  EXPECT_LE(kmeans.value().storage_cost, gamma);
+}
+
+TEST_F(BaselineTest, LyreSplitDominatesBaselinesAtEqualStorage) {
+  // The paper's §5.2 headline: at the same storage budget, LYRESPLIT's
+  // checkout cost is no worse than AGGLO's or KMEANS's (within noise).
+  int64_t gamma = 2 * bip_.num_records();
+  auto lyre = LyreSplit::RunForBudget(data_.BuildGraph(), gamma);
+  ASSERT_TRUE(lyre.ok());
+  Partitioning lp = lyre.value().partitioning;
+  ASSERT_TRUE(lp.ComputeCosts(bip_).ok());
+  ASSERT_LE(lp.storage_cost, gamma);
+
+  int iters = 0;
+  auto agglo = RunAggloForBudget(bip_, gamma, AggloOptions(), &iters);
+  ASSERT_TRUE(agglo.ok());
+  auto kmeans = RunKMeansForBudget(bip_, gamma, KMeansOptions(), &iters);
+  ASSERT_TRUE(kmeans.ok());
+
+  EXPECT_LE(lp.avg_checkout_cost, agglo.value().avg_checkout_cost * 1.10);
+  EXPECT_LE(lp.avg_checkout_cost, kmeans.value().avg_checkout_cost * 1.10);
+}
+
+}  // namespace
+}  // namespace orpheus::part

@@ -1,0 +1,182 @@
+// Edge-case tests for the relstore executor: NULL semantics through
+// joins, filters, and aggregates; unnest corner cases; DISTINCT on
+// arrays; ORDER BY stability; and page-model sanity.
+
+#include <gtest/gtest.h>
+
+#include "relstore/database.h"
+
+namespace orpheus::rel {
+namespace {
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  Chunk Must(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : Chunk();
+  }
+  Database db_;
+};
+
+TEST_F(EdgeTest, NullNeverMatchesInFilters) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT, b INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t (a) VALUES (1)").ok());  // b NULL
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (2, 5)").ok());
+  EXPECT_EQ(Must("SELECT count(*) FROM t WHERE b = 5").Get(0, 0).AsInt(), 1);
+  // NULL fails every comparison, including <>.
+  EXPECT_EQ(Must("SELECT count(*) FROM t WHERE b <> 5").Get(0, 0).AsInt(), 0);
+  EXPECT_EQ(Must("SELECT count(*) FROM t WHERE b < 100").Get(0, 0).AsInt(), 1);
+}
+
+TEST_F(EdgeTest, NullKeysDropOutOfJoins) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE l (k INT, PRIMARY KEY (k))").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE r (k2 INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO l VALUES (1), (2)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO l (k) VALUES (NULL)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO r VALUES (1)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO r (k2) VALUES (NULL)").ok());
+  // NULL = NULL is not a match, under every join algorithm.
+  for (JoinMethod method :
+       {JoinMethod::kHash, JoinMethod::kMerge, JoinMethod::kIndexNestedLoop}) {
+    db_.set_join_method(method);
+    EXPECT_EQ(Must("SELECT count(*) FROM r, l WHERE k = k2").Get(0, 0).AsInt(), 1)
+        << "method " << static_cast<int>(method);
+  }
+}
+
+TEST_F(EdgeTest, AggregatesIgnoreNulls) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (10), (20)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t (v) VALUES (NULL)").ok());
+  Chunk out = Must("SELECT count(*), count(v), sum(v), avg(v) FROM t");
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 3);  // count(*) counts rows
+  EXPECT_EQ(out.Get(0, 1).AsInt(), 2);  // count(v) skips NULL
+  EXPECT_EQ(out.Get(0, 2).AsInt(), 30);
+  EXPECT_DOUBLE_EQ(out.Get(0, 3).AsDouble(), 15.0);
+}
+
+TEST_F(EdgeTest, GroupByNullFormsItsOwnGroup) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (g INT, v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 10), (1, 20)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t (v) VALUES (30), (40)").ok());
+  Chunk out = Must("SELECT g, count(*) FROM t GROUP BY g");
+  EXPECT_EQ(out.num_rows(), 2u);  // group 1 and the NULL group
+}
+
+TEST_F(EdgeTest, UnnestOfEmptyArrayYieldsNoRows) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (vid INT, rlist INT[])").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, ARRAY[]), "
+                          "(2, ARRAY[7, 8])").ok());
+  Chunk out = Must("SELECT unnest(rlist) AS r FROM t");
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 7);
+}
+
+TEST_F(EdgeTest, UnnestPreservesSiblingColumns) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (vid INT, rlist INT[])").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (5, ARRAY[1, 2, 3])").ok());
+  Chunk out = Must("SELECT vid, unnest(rlist) AS r, vid * 10 AS x FROM t");
+  ASSERT_EQ(out.num_rows(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.Get(i, 0).AsInt(), 5);
+    EXPECT_EQ(out.Get(i, 2).AsInt(), 50);
+  }
+}
+
+TEST_F(EdgeTest, DistinctOnArrayColumn) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT[])").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (ARRAY[1, 2]), (ARRAY[1, 2]), "
+                          "(ARRAY[1])").ok());
+  EXPECT_EQ(Must("SELECT DISTINCT a FROM t").num_rows(), 2u);
+}
+
+TEST_F(EdgeTest, OrderByIsStable) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (k INT, tag TEXT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 'a'), (1, 'b'), (0, 'c'), "
+                          "(1, 'd')").ok());
+  Chunk out = Must("SELECT tag FROM t ORDER BY k");
+  ASSERT_EQ(out.num_rows(), 4u);
+  EXPECT_EQ(out.Get(0, 0).AsString(), "c");
+  // Equal keys keep insertion order.
+  EXPECT_EQ(out.Get(1, 0).AsString(), "a");
+  EXPECT_EQ(out.Get(2, 0).AsString(), "b");
+  EXPECT_EQ(out.Get(3, 0).AsString(), "d");
+}
+
+TEST_F(EdgeTest, LimitZeroAndBeyondSize) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1), (2)").ok());
+  EXPECT_EQ(Must("SELECT a FROM t LIMIT 0").num_rows(), 0u);
+  EXPECT_EQ(Must("SELECT a FROM t LIMIT 99").num_rows(), 2u);
+}
+
+TEST_F(EdgeTest, InSubqueryAgainstEmptyResult) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE empty_t (b INT)").ok());
+  EXPECT_EQ(
+      Must("SELECT count(*) FROM t WHERE a IN (SELECT b FROM empty_t)")
+          .Get(0, 0)
+          .AsInt(),
+      0);
+}
+
+TEST_F(EdgeTest, StringInSubquery) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (s TEXT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES ('x'), ('y')").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE probe (s2 TEXT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO probe VALUES ('y'), ('z')").ok());
+  EXPECT_EQ(Must("SELECT count(*) FROM t WHERE s IN (SELECT s2 FROM probe)")
+                .Get(0, 0)
+                .AsInt(),
+            1);
+}
+
+TEST_F(EdgeTest, SelfJoinViaAliases) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (k INT, v INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 10)").ok());
+  // Pairs of distinct rows sharing v.
+  Chunk out = Must("SELECT a.k, b.k FROM t a, t b "
+                   "WHERE a.v = b.v AND a.k < b.k");
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 1);
+  EXPECT_EQ(out.Get(0, 1).AsInt(), 3);
+}
+
+TEST_F(EdgeTest, PageModelScalesWithRows) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT)").ok());
+  auto table = db_.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  for (int i = 0; i < 10000; ++i) {
+    table.value()->mutable_chunk().mutable_column(0).AppendInt(i);
+  }
+  EXPECT_GT(table.value()->num_pages(), 1);
+  EXPECT_LE(table.value()->rows_per_page(), 8192 / 8 + 1);
+  // Clustering keeps row count, changes order.
+  ASSERT_TRUE(table.value()->ClusterBy("a").ok());
+  EXPECT_EQ(table.value()->num_rows(), 10000u);
+  EXPECT_EQ(table.value()->clustered_on(), "a");
+}
+
+TEST_F(EdgeTest, ArrayConcatOperators) {
+  Chunk a = Must("SELECT ARRAY[1, 2] || ARRAY[3]");
+  EXPECT_EQ(a.Get(0, 0).AsArray().size(), 3u);
+  Chunk b = Must("SELECT ARRAY[1] || 5");
+  EXPECT_EQ(b.Get(0, 0).AsArray().back(), 5);
+  Chunk c = Must("SELECT 'ab' || 'cd'");
+  EXPECT_EQ(c.Get(0, 0).AsString(), "abcd");
+  Chunk d = Must("SELECT array_length(ARRAY[1,2,3] + 9)");
+  EXPECT_EQ(d.Get(0, 0).AsInt(), 4);
+}
+
+TEST_F(EdgeTest, ContainmentEdgeCases) {
+  // Empty array is contained in anything.
+  EXPECT_TRUE(Must("SELECT ARRAY[] <@ ARRAY[1]").Get(0, 0).AsBool());
+  EXPECT_TRUE(Must("SELECT ARRAY[] <@ ARRAY[]").Get(0, 0).AsBool());
+  EXPECT_FALSE(Must("SELECT ARRAY[1] <@ ARRAY[]").Get(0, 0).AsBool());
+  EXPECT_TRUE(Must("SELECT ARRAY[2, 2] <@ ARRAY[1, 2]").Get(0, 0).AsBool());
+}
+
+}  // namespace
+}  // namespace orpheus::rel

@@ -1,0 +1,314 @@
+// End-to-end tests for the relstore engine: DDL, DML, scans, joins
+// (all three algorithms), aggregation, unnest, and the exact SQL
+// shapes OrpheusDB's query translator emits (the paper's Table 1).
+
+#include <gtest/gtest.h>
+
+#include "relstore/database.h"
+
+namespace orpheus::rel {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (a INT, b TEXT, c DOUBLE)").ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 'x', 1.5), (2, 'y', 2.5), "
+                            "(3, 'x', 3.5)").ok());
+  }
+
+  Chunk MustQuery(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : Chunk();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, SelectStar) {
+  Chunk out = MustQuery("SELECT * FROM t");
+  EXPECT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.num_columns(), 3);
+  EXPECT_EQ(out.schema().column(0).name, "a");  // unqualified output
+}
+
+TEST_F(ExecutorTest, WhereFilter) {
+  Chunk out = MustQuery("SELECT a FROM t WHERE b = 'x'");
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 1);
+  EXPECT_EQ(out.Get(1, 0).AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, ComputedProjection) {
+  Chunk out = MustQuery("SELECT a * 10 + 1 AS v FROM t WHERE a >= 2");
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.schema().column(0).name, "v");
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 21);
+}
+
+TEST_F(ExecutorTest, SelectWithoutFrom) {
+  Chunk out = MustQuery("SELECT 2 + 3 AS five");
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 5);
+}
+
+TEST_F(ExecutorTest, OrderByAndLimit) {
+  Chunk out = MustQuery("SELECT a FROM t ORDER BY a DESC LIMIT 2");
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 3);
+  EXPECT_EQ(out.Get(1, 0).AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  Chunk out = MustQuery("SELECT DISTINCT b FROM t ORDER BY b");
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.Get(0, 0).AsString(), "x");
+}
+
+TEST_F(ExecutorTest, AggregatesWholeTable) {
+  Chunk out = MustQuery("SELECT count(*), sum(a), avg(c), min(b), max(b) FROM t");
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 3);
+  EXPECT_EQ(out.Get(0, 1).AsInt(), 6);
+  EXPECT_DOUBLE_EQ(out.Get(0, 2).AsDouble(), 2.5);
+  EXPECT_EQ(out.Get(0, 3).AsString(), "x");
+  EXPECT_EQ(out.Get(0, 4).AsString(), "y");
+}
+
+TEST_F(ExecutorTest, GroupByWithHaving) {
+  Chunk out = MustQuery(
+      "SELECT b, count(*) AS cnt FROM t GROUP BY b HAVING cnt > 1");
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.Get(0, 0).AsString(), "x");
+  EXPECT_EQ(out.Get(0, 1).AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, AggregateOnEmptyInput) {
+  Chunk out = MustQuery("SELECT count(*), sum(a) FROM t WHERE a > 100");
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 0);
+  EXPECT_TRUE(out.Get(0, 1).is_null());
+}
+
+TEST_F(ExecutorTest, UpdateWithWhere) {
+  ASSERT_TRUE(db_.Execute("UPDATE t SET c = c + 10 WHERE b = 'x'").ok());
+  Chunk out = MustQuery("SELECT c FROM t ORDER BY a");
+  EXPECT_DOUBLE_EQ(out.Get(0, 0).AsDouble(), 11.5);
+  EXPECT_DOUBLE_EQ(out.Get(1, 0).AsDouble(), 2.5);
+}
+
+TEST_F(ExecutorTest, DeleteRows) {
+  ASSERT_TRUE(db_.Execute("DELETE FROM t WHERE a = 2").ok());
+  Chunk out = MustQuery("SELECT count(*) FROM t");
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, SelectIntoCreatesTable) {
+  ASSERT_TRUE(db_.Execute("SELECT a, b INTO t2 FROM t WHERE a < 3").ok());
+  EXPECT_TRUE(db_.HasTable("t2"));
+  Chunk out = MustQuery("SELECT count(*) FROM t2");
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, InsertSelect) {
+  ASSERT_TRUE(db_.Execute("SELECT a, b, c INTO t3 FROM t WHERE a = 1").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t3 SELECT a, b, c FROM t WHERE a = 3").ok());
+  Chunk out = MustQuery("SELECT count(*) FROM t3");
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, DropTable) {
+  ASSERT_TRUE(db_.Execute("DROP TABLE t").ok());
+  EXPECT_FALSE(db_.HasTable("t"));
+  EXPECT_FALSE(db_.Execute("DROP TABLE t").ok());
+  EXPECT_TRUE(db_.Execute("DROP TABLE IF EXISTS t").ok());
+}
+
+TEST_F(ExecutorTest, ExecuteScriptReturnsLast) {
+  auto r = db_.ExecuteScript(
+      "CREATE TABLE s (x INT); INSERT INTO s VALUES (5); SELECT x FROM s;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 5);
+}
+
+// --- Array handling: the versioning columns --------------------------
+
+class ArrayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE comb (rid INT, val TEXT, vlist INT[])").ok());
+    ASSERT_TRUE(db_.Execute("INSERT INTO comb VALUES "
+                            "(1, 'a', ARRAY[1]), "
+                            "(2, 'b', ARRAY[1, 2, 4]), "
+                            "(3, 'c', ARRAY[1, 2, 3, 4]), "
+                            "(4, 'd', ARRAY[2, 4])").ok());
+  }
+  Database db_;
+};
+
+TEST_F(ArrayTest, ContainmentOperator) {
+  // The combined-table checkout shape from Table 1.
+  auto r = db_.Execute("SELECT rid FROM comb WHERE ARRAY[2] <@ vlist");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().num_rows(), 3u);
+}
+
+TEST_F(ArrayTest, ArrayAppendViaPlus) {
+  // The combined-table commit shape from Table 1.
+  ASSERT_TRUE(db_.Execute("SELECT rid INTO tp FROM comb WHERE ARRAY[4] <@ vlist").ok());
+  ASSERT_TRUE(db_.Execute("UPDATE comb SET vlist = vlist + 9 WHERE rid IN "
+                          "(SELECT rid FROM tp)").ok());
+  auto r = db_.Execute("SELECT rid FROM comb WHERE ARRAY[9] <@ vlist");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 3u);  // rids 2, 3, 4
+}
+
+TEST_F(ArrayTest, UnnestExpandsRows) {
+  auto r = db_.Execute("SELECT unnest(vlist) AS v, rid FROM comb WHERE rid = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Chunk& out = r.value();
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.Get(0, 0).AsInt(), 1);
+  EXPECT_EQ(out.Get(2, 0).AsInt(), 4);
+  EXPECT_EQ(out.Get(1, 1).AsInt(), 2);  // rid replicated
+}
+
+TEST_F(ArrayTest, ArraySubqueryInsert) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE vt (vid INT, rlist INT[])").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO vt VALUES "
+                          "(1, ARRAY(SELECT rid FROM comb WHERE ARRAY[1] <@ vlist))").ok());
+  auto r = db_.Execute("SELECT array_length(rlist) FROM vt WHERE vid = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 3);
+}
+
+TEST_F(ArrayTest, EmptyArrayLiteral) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO comb VALUES (9, 'e', ARRAY[])").ok());
+  auto r = db_.Execute("SELECT array_length(vlist) FROM comb WHERE rid = 9");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 0);
+}
+
+// --- Joins ------------------------------------------------------------
+
+class JoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute(
+        "CREATE TABLE d (rid INT, payload TEXT, PRIMARY KEY (rid))").ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db_.Execute("INSERT INTO d VALUES (" + std::to_string(i) +
+                              ", 'p" + std::to_string(i) + "')").ok());
+    }
+    ASSERT_TRUE(db_.Execute("CREATE TABLE v (vid INT, rlist INT[], "
+                            "PRIMARY KEY (vid))").ok());
+    ASSERT_TRUE(db_.Execute(
+        "INSERT INTO v VALUES (1, ARRAY[5, 10, 15]), (2, ARRAY[0, 99])").ok());
+  }
+
+  // The split-by-rlist checkout query from Table 1.
+  std::string CheckoutSql(int vid) {
+    return "SELECT d.* INTO tprime FROM d, (SELECT unnest(rlist) AS rid_tmp "
+           "FROM v WHERE vid = " + std::to_string(vid) +
+           ") AS tmp WHERE d.rid = tmp.rid_tmp";
+  }
+
+  Database db_;
+};
+
+TEST_F(JoinTest, HashJoinCheckout) {
+  db_.set_join_method(JoinMethod::kHash);
+  ASSERT_TRUE(db_.Execute(CheckoutSql(1)).ok());
+  auto r = db_.Execute("SELECT rid FROM tprime ORDER BY rid");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 3u);
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 5);
+  EXPECT_EQ(r.value().Get(2, 0).AsInt(), 15);
+  // tprime must contain only d's columns (qualified star).
+  EXPECT_EQ(r.value().num_columns(), 1);
+  auto cols = db_.Execute("SELECT * FROM tprime LIMIT 1");
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols.value().num_columns(), 2);
+}
+
+TEST_F(JoinTest, MergeJoinSameResult) {
+  db_.set_join_method(JoinMethod::kMerge);
+  ASSERT_TRUE(db_.Execute(CheckoutSql(2)).ok()) << "merge join checkout";
+  auto r = db_.Execute("SELECT rid FROM tprime ORDER BY rid");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 2u);
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 0);
+  EXPECT_EQ(r.value().Get(1, 0).AsInt(), 99);
+}
+
+TEST_F(JoinTest, IndexNestedLoopSameResult) {
+  db_.set_join_method(JoinMethod::kIndexNestedLoop);
+  ASSERT_TRUE(db_.Execute(CheckoutSql(1)).ok());
+  auto r = db_.Execute("SELECT count(*) FROM tprime");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().Get(0, 0).AsInt(), 3);
+  EXPECT_GT(db_.stats()->index_probes, 0);
+}
+
+TEST_F(JoinTest, JoinWithDuplicateKeysProducesAllPairs) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE l (k INT)").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE r (k2 INT)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO l VALUES (1), (1), (2)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO r VALUES (1), (1), (3)").ok());
+  auto res = db_.Execute("SELECT count(*) FROM l, r WHERE k = k2");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res.value().Get(0, 0).AsInt(), 4);  // 2 x 2 matches on key 1
+}
+
+TEST_F(JoinTest, CrossJoinGuard) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE big (x INT)").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db_.Execute("INSERT INTO big VALUES (1)").ok());
+  }
+  // 20 x 20 cross join is fine.
+  auto small = db_.Execute("SELECT count(*) FROM big, (SELECT x AS y FROM big) AS b2");
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  EXPECT_EQ(small.value().Get(0, 0).AsInt(), 400);
+}
+
+TEST_F(JoinTest, StatsAccumulateAndReset) {
+  db_.ResetStats();
+  ASSERT_TRUE(db_.Execute("SELECT count(*) FROM d").ok());
+  EXPECT_GE(db_.stats()->rows_scanned, 100);
+  db_.ResetStats();
+  EXPECT_EQ(db_.stats()->rows_scanned, 0);
+}
+
+// --- Error paths -------------------------------------------------------
+
+TEST(ExecutorErrorTest, UnknownTableAndColumn) {
+  Database db;
+  EXPECT_EQ(db.Execute("SELECT * FROM nope").status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  EXPECT_FALSE(db.Execute("SELECT b FROM t").ok());
+  EXPECT_FALSE(db.Execute("UPDATE t SET b = 1").ok());
+}
+
+TEST(ExecutorErrorTest, ArityMismatch) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT, b INT)").ok());
+  EXPECT_FALSE(db.Execute("INSERT INTO t VALUES (1)").ok());
+}
+
+TEST(ExecutorErrorTest, DivisionByZero) {
+  Database db;
+  EXPECT_FALSE(db.Execute("SELECT 1 / 0").ok());
+}
+
+TEST(ExecutorErrorTest, IntoExistingTable) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_EQ(db.Execute("SELECT a INTO t FROM t").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace orpheus::rel

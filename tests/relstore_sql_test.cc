@@ -1,0 +1,187 @@
+// Unit tests for the SQL lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "relstore/lexer.h"
+#include "relstore/parser.h"
+
+namespace orpheus::rel {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto r = Tokenize("SELECT x, 42, 1.5, 'it''s' FROM t;");
+  ASSERT_TRUE(r.ok());
+  const auto& toks = r.value();
+  EXPECT_EQ(toks[0].type, TokenType::kKeyword);
+  EXPECT_EQ(toks[0].text, "select");
+  EXPECT_EQ(toks[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[3].int_value, 42);
+  EXPECT_DOUBLE_EQ(toks[5].double_value, 1.5);
+  EXPECT_EQ(toks[7].text, "it's");
+}
+
+TEST(LexerTest, Operators) {
+  auto r = Tokenize("a <@ b <= c || d <> e");
+  ASSERT_TRUE(r.ok());
+  const auto& toks = r.value();
+  EXPECT_EQ(toks[1].text, "<@");
+  EXPECT_EQ(toks[3].text, "<=");
+  EXPECT_EQ(toks[5].text, "||");
+  EXPECT_EQ(toks[7].text, "<>");
+}
+
+TEST(LexerTest, LineComments) {
+  auto r = Tokenize("SELECT 1 -- trailing comment\n, 2");
+  ASSERT_TRUE(r.ok());
+  // select, 1, ',', 2, end
+  EXPECT_EQ(r.value().size(), 5u);
+}
+
+TEST(LexerTest, UnterminatedString) {
+  auto r = Tokenize("SELECT 'oops");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, SelectBasics) {
+  auto r = ParseSql("SELECT a, b AS bee FROM t WHERE a > 3 ORDER BY a DESC LIMIT 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = *r.value()->select;
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "bee");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].name, "t");
+  ASSERT_NE(s.where, nullptr);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_EQ(s.limit, 10);
+}
+
+TEST(ParserTest, PaperCheckoutCombinedTable) {
+  // Table 1, combined-table checkout.
+  auto r = ParseSql("SELECT * INTO tprime FROM t WHERE ARRAY[3] <@ vlist");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = *r.value()->select;
+  EXPECT_EQ(s.into_table, "tprime");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->kind, ExprKind::kBinary);
+  EXPECT_EQ(s.where->bin_op, BinOp::kContains);
+  EXPECT_EQ(s.where->args[0]->kind, ExprKind::kArrayLiteral);
+}
+
+TEST(ParserTest, PaperCheckoutSplitByRlist) {
+  // Table 1, split-by-rlist checkout with unnest subquery.
+  auto r = ParseSql(
+      "SELECT d.* INTO tprime FROM dataTable d, "
+      "(SELECT unnest(rlist) AS rid_tmp FROM versioningTable WHERE vid = 7) "
+      "AS tmp WHERE d.rid = tmp.rid_tmp");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = *r.value()->select;
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "d");
+  ASSERT_NE(s.from[1].subquery, nullptr);
+  EXPECT_EQ(s.from[1].alias, "tmp");
+  // d.* star with qualifier
+  EXPECT_EQ(s.items[0].expr->kind, ExprKind::kStar);
+  EXPECT_EQ(s.items[0].expr->column, "d");
+}
+
+TEST(ParserTest, PaperCommitUpdateWithInSubquery) {
+  // Table 1, combined-table commit: append vj to vlist.
+  auto r = ParseSql(
+      "UPDATE t SET vlist = vlist + 9 WHERE rid IN (SELECT rid FROM tprime)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Statement& stmt = *r.value();
+  EXPECT_EQ(stmt.kind, Statement::Kind::kUpdate);
+  ASSERT_EQ(stmt.assignments.size(), 1u);
+  EXPECT_EQ(stmt.assignments[0].first, "vlist");
+  ASSERT_NE(stmt.where, nullptr);
+  EXPECT_EQ(stmt.where->kind, ExprKind::kInSubquery);
+}
+
+TEST(ParserTest, PaperCommitInsertArraySubquery) {
+  // Table 1, split-by-rlist commit: one tuple with an array of rids.
+  auto r = ParseSql(
+      "INSERT INTO versioningTable VALUES (9, ARRAY(SELECT rid FROM tprime))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Statement& stmt = *r.value();
+  ASSERT_EQ(stmt.values.size(), 1u);
+  ASSERT_EQ(stmt.values[0].size(), 2u);
+  EXPECT_EQ(stmt.values[0][1]->kind, ExprKind::kArraySubquery);
+}
+
+TEST(ParserTest, CreateTableWithPrimaryKeyAndArrayType) {
+  auto r = ParseSql(
+      "CREATE TABLE v (vid INT, rlist INT[], msg TEXT, score DOUBLE, "
+      "PRIMARY KEY (vid))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Statement& stmt = *r.value();
+  ASSERT_EQ(stmt.column_defs.size(), 4u);
+  EXPECT_EQ(stmt.column_defs[1].type, DataType::kIntArray);
+  ASSERT_EQ(stmt.primary_key.size(), 1u);
+  EXPECT_EQ(stmt.primary_key[0], "vid");
+}
+
+TEST(ParserTest, GroupByHavingAggregates) {
+  auto r = ParseSql(
+      "SELECT vid, count(*) AS cnt, avg(score) FROM t GROUP BY vid "
+      "HAVING cnt > 50");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStmt& s = *r.value()->select;
+  ASSERT_EQ(s.group_by.size(), 1u);
+  ASSERT_NE(s.having, nullptr);
+  EXPECT_TRUE(s.items[1].expr->IsAggregate());
+}
+
+TEST(ParserTest, InsertMultiRow) {
+  auto r = ParseSql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->values.size(), 2u);
+  EXPECT_EQ(r.value()->columns.size(), 2u);
+}
+
+TEST(ParserTest, DeleteAndDrop) {
+  auto del = ParseSql("DELETE FROM t WHERE a = 1");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del.value()->kind, Statement::Kind::kDelete);
+  auto drop = ParseSql("DROP TABLE IF EXISTS t");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_TRUE(drop.value()->if_exists);
+}
+
+TEST(ParserTest, ClusterAndIndex) {
+  auto cluster = ParseSql("CLUSTER dataTable BY rid");
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  EXPECT_EQ(cluster.value()->kind, Statement::Kind::kClusterBy);
+  EXPECT_EQ(cluster.value()->index_column, "rid");
+  auto index = ParseSql("CREATE INDEX ON dataTable (rid)");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value()->kind, Statement::Kind::kCreateIndex);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto r = ParseSql("SELECT 1 + 2 * 3 = 7 AND NOT false");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Expr& top = *r.value()->select->items[0].expr;
+  EXPECT_EQ(top.bin_op, BinOp::kAnd);
+  const Expr& cmp = *top.args[0];
+  EXPECT_EQ(cmp.bin_op, BinOp::kEq);
+  EXPECT_EQ(cmp.args[0]->bin_op, BinOp::kAdd);
+}
+
+TEST(ParserTest, ErrorsAreParseErrors) {
+  for (const char* bad :
+       {"SELEC 1", "SELECT FROM", "INSERT INTO", "UPDATE t", "CREATE VIEW v",
+        "SELECT * FROM t WHERE", "SELECT 1 2 3 4 --"}) {
+    auto r = ParseSql(bad);
+    EXPECT_FALSE(r.ok()) << "should not parse: " << bad;
+  }
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  auto r = ParseSql("SELECT 1; SELECT 2");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace orpheus::rel

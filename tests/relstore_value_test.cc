@@ -1,0 +1,184 @@
+// Unit tests for relstore's type system, Value semantics, Column
+// storage, Chunk operations, and Schema resolution.
+
+#include <gtest/gtest.h>
+
+#include "relstore/chunk.h"
+#include "relstore/column.h"
+#include "relstore/schema.h"
+#include "relstore/types.h"
+#include "relstore/value.h"
+
+namespace orpheus::rel {
+namespace {
+
+TEST(TypesTest, NamesRoundTrip) {
+  EXPECT_EQ(DataTypeFromName("INT"), DataType::kInt64);
+  EXPECT_EQ(DataTypeFromName("integer"), DataType::kInt64);
+  EXPECT_EQ(DataTypeFromName("decimal"), DataType::kDouble);
+  EXPECT_EQ(DataTypeFromName("TEXT"), DataType::kString);
+  EXPECT_EQ(DataTypeFromName("int[]"), DataType::kIntArray);
+  EXPECT_EQ(DataTypeFromName("whatever"), DataType::kNull);
+  EXPECT_STREQ(DataTypeName(DataType::kIntArray), "INT[]");
+}
+
+TEST(ValueTest, NullSemantics) {
+  Value null = Value::Null();
+  EXPECT_TRUE(null.is_null());
+  // NULL equals nothing, including NULL (SQL semantics).
+  EXPECT_FALSE(null.Equals(Value::Null()));
+  EXPECT_FALSE(null.Equals(Value::Int(0)));
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::Double(3.5)));
+  EXPECT_TRUE(Value::Double(2.0).Equals(Value::Int(2)));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  // NULL sorts first.
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+}
+
+TEST(ValueTest, ArrayEqualityAndOrder) {
+  Value a = Value::Array({1, 2, 3});
+  Value b = Value::Array({1, 2, 3});
+  Value c = Value::Array({1, 2});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_GT(a.Compare(c), 0);  // longer with equal prefix sorts after
+  EXPECT_EQ(a.ToString(), "{1,2,3}");
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::Array({1, 2}).Hash(), Value::Array({1, 2}).Hash());
+}
+
+TEST(ColumnTest, AppendAndGet) {
+  Column col(DataType::kInt64);
+  col.AppendInt(10);
+  col.Append(Value::Int(20));
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.Get(0).AsInt(), 10);
+  EXPECT_EQ(col.Get(1).AsInt(), 20);
+}
+
+TEST(ColumnTest, NullBitmapOnlyWhenNeeded) {
+  Column col(DataType::kInt64);
+  col.AppendInt(1);
+  EXPECT_FALSE(col.IsNull(0));
+  col.Append(Value::Null());
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.Get(1).is_null());
+}
+
+TEST(ColumnTest, GatherPreservesNulls) {
+  Column src(DataType::kString);
+  src.Append(Value::String("a"));
+  src.Append(Value::Null());
+  src.Append(Value::String("c"));
+  Column dst(DataType::kString);
+  dst.Gather(src, {2, 1});
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst.Get(0).AsString(), "c");
+  EXPECT_TRUE(dst.Get(1).is_null());
+}
+
+TEST(ColumnTest, FilterKeepsOrder) {
+  Column col(DataType::kInt64);
+  for (int i = 0; i < 6; ++i) col.AppendInt(i);
+  col.Filter({true, false, true, false, true, false});
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.Get(0).AsInt(), 0);
+  EXPECT_EQ(col.Get(1).AsInt(), 2);
+  EXPECT_EQ(col.Get(2).AsInt(), 4);
+}
+
+TEST(ColumnTest, SetOverwritesAndClearsNull) {
+  Column col(DataType::kDouble);
+  col.Append(Value::Null());
+  EXPECT_TRUE(col.IsNull(0));
+  col.Set(0, Value::Double(1.5));
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_DOUBLE_EQ(col.Get(0).AsDouble(), 1.5);
+}
+
+TEST(ColumnTest, ArrayStorage) {
+  Column col(DataType::kIntArray);
+  col.AppendArray({1, 2});
+  col.AppendArray({});
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.Get(0).AsArray().size(), 2u);
+  EXPECT_TRUE(col.Get(1).AsArray().empty());
+  EXPECT_GT(col.ByteSize(), 0);
+}
+
+TEST(SchemaTest, ResolveExactAndSuffix) {
+  Schema schema({{"d.rid", DataType::kInt64}, {"tmp.rid_tmp", DataType::kInt64}});
+  auto exact = schema.Resolve("d.rid");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value(), 0);
+  auto suffix = schema.Resolve("rid_tmp");
+  ASSERT_TRUE(suffix.ok());
+  EXPECT_EQ(suffix.value(), 1);
+  // "rid" matches d.rid only (rid_tmp is not a suffix match for rid).
+  auto rid = schema.Resolve("rid");
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(rid.value(), 0);
+}
+
+TEST(SchemaTest, ResolveAmbiguous) {
+  Schema schema({{"a.x", DataType::kInt64}, {"b.x", DataType::kInt64}});
+  auto r = schema.Resolve("x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, QualifyAndUnqualify) {
+  Schema schema({{"rid", DataType::kInt64}, {"vlist", DataType::kIntArray}});
+  Schema q = schema.Qualified("t");
+  EXPECT_EQ(q.column(0).name, "t.rid");
+  Schema back = q.Unqualified();
+  EXPECT_TRUE(back.Equals(schema));
+}
+
+TEST(ChunkTest, AppendAndGather) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  Chunk chunk(schema);
+  chunk.AppendRow({Value::Int(1), Value::String("x")});
+  chunk.AppendRow({Value::Int(2), Value::String("y")});
+  chunk.AppendRow({Value::Int(3), Value::String("z")});
+  EXPECT_EQ(chunk.num_rows(), 3u);
+
+  Chunk picked(schema);
+  picked.GatherFrom(chunk, {2, 0});
+  ASSERT_EQ(picked.num_rows(), 2u);
+  EXPECT_EQ(picked.Get(0, 1).AsString(), "z");
+  EXPECT_EQ(picked.Get(1, 0).AsInt(), 1);
+}
+
+TEST(ChunkTest, FilterRows) {
+  Schema schema({{"a", DataType::kInt64}});
+  Chunk chunk(schema);
+  for (int i = 0; i < 4; ++i) chunk.AppendRow({Value::Int(i)});
+  chunk.FilterRows({false, true, true, false});
+  ASSERT_EQ(chunk.num_rows(), 2u);
+  EXPECT_EQ(chunk.Get(0, 0).AsInt(), 1);
+}
+
+TEST(ChunkTest, ToStringTruncates) {
+  Schema schema({{"a", DataType::kInt64}});
+  Chunk chunk(schema);
+  for (int i = 0; i < 30; ++i) chunk.AppendRow({Value::Int(i)});
+  std::string rendered = chunk.ToString(5);
+  EXPECT_NE(rendered.find("more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orpheus::rel

@@ -1,0 +1,109 @@
+// Unit tests for the version graph: derivation tracking, levels,
+// traversals, and the DAG -> tree conversion of Appendix C.1.
+
+#include <gtest/gtest.h>
+
+#include "core/version_graph.h"
+
+namespace orpheus::core {
+namespace {
+
+// Builds the paper's Figure 4 graph:
+//   v1 (3 records) -> v2 (3), v1 -> v3 (4), {v2, v3} -> v4 (6)
+//   weights: w(v1,v2)=2, w(v1,v3)=3, w(v2,v4)=3, w(v3,v4)=4
+VersionGraph Figure4Graph() {
+  VersionGraph g;
+  EXPECT_TRUE(g.AddVersion(1, {}, {}, 3).ok());
+  EXPECT_TRUE(g.AddVersion(2, {1}, {2}, 3).ok());
+  EXPECT_TRUE(g.AddVersion(3, {1}, {3}, 4).ok());
+  EXPECT_TRUE(g.AddVersion(4, {2, 3}, {3, 4}, 6).ok());
+  return g;
+}
+
+TEST(VersionGraphTest, AddAndLookup) {
+  VersionGraph g = Figure4Graph();
+  EXPECT_EQ(g.num_versions(), 4u);
+  auto node = g.GetNode(4);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node.value()->parents.size(), 2u);
+  EXPECT_EQ(node.value()->num_records, 6);
+  EXPECT_FALSE(g.GetNode(99).ok());
+}
+
+TEST(VersionGraphTest, Levels) {
+  VersionGraph g = Figure4Graph();
+  EXPECT_EQ(g.GetNode(1).value()->level, 1);
+  EXPECT_EQ(g.GetNode(2).value()->level, 2);
+  EXPECT_EQ(g.GetNode(3).value()->level, 2);
+  EXPECT_EQ(g.GetNode(4).value()->level, 3);
+}
+
+TEST(VersionGraphTest, DuplicateAndMissingParentRejected) {
+  VersionGraph g = Figure4Graph();
+  EXPECT_EQ(g.AddVersion(1, {}, {}, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddVersion(9, {42}, {1}, 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.AddVersion(9, {1}, {1, 2}, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VersionGraphTest, RootsAndChildren) {
+  VersionGraph g = Figure4Graph();
+  auto roots = g.Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], 1);
+  EXPECT_EQ(g.GetNode(1).value()->children.size(), 2u);
+}
+
+TEST(VersionGraphTest, AncestorsAndDescendants) {
+  VersionGraph g = Figure4Graph();
+  auto anc = g.Ancestors(4);
+  ASSERT_TRUE(anc.ok());
+  EXPECT_EQ(anc.value().size(), 3u);  // v2, v3, v1
+  auto desc = g.Descendants(1);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc.value().size(), 3u);
+  auto leaf = g.Descendants(4);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_TRUE(leaf.value().empty());
+}
+
+TEST(VersionGraphTest, IsTreeDetectsMerges) {
+  VersionGraph g = Figure4Graph();
+  EXPECT_FALSE(g.IsTree());
+  VersionGraph chain;
+  ASSERT_TRUE(chain.AddVersion(1, {}, {}, 5).ok());
+  ASSERT_TRUE(chain.AddVersion(2, {1}, {5}, 5).ok());
+  EXPECT_TRUE(chain.IsTree());
+}
+
+TEST(VersionGraphTest, ToTreeKeepsMaxWeightEdge) {
+  // Appendix C.1's worked example (Figure 17): v4 keeps edge from v3
+  // (weight 4 > 3) and |R^| = 2... in the paper's figure the dropped
+  // edge has weight 3 but only 2 records are duplicated because the
+  // example counts shared-with-both records once. Our tree-side
+  // accounting counts the dropped edge weight (upper bound), per the
+  // "conceptually create new records" rule.
+  VersionGraph g = Figure4Graph();
+  int64_t duplicated = 0;
+  VersionGraph tree = g.ToTree(&duplicated);
+  EXPECT_TRUE(tree.IsTree());
+  EXPECT_EQ(duplicated, 3);  // weight of the dropped (v2, v4) edge
+  auto v4 = tree.GetNode(4);
+  ASSERT_TRUE(v4.ok());
+  ASSERT_EQ(v4.value()->parents.size(), 1u);
+  EXPECT_EQ(v4.value()->parents[0], 3);
+}
+
+TEST(VersionGraphTest, BipartiteEdgeCount) {
+  VersionGraph g = Figure4Graph();
+  EXPECT_EQ(g.TotalBipartiteEdges(), 3 + 3 + 4 + 6);
+}
+
+TEST(VersionGraphTest, DotRendering) {
+  VersionGraph g = Figure4Graph();
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("v2 -> v4"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orpheus::core
