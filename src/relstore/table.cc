@@ -124,13 +124,10 @@ int64_t Table::num_pages() const {
 int64_t Table::ByteSize() const { return chunk_.ByteSize(); }
 
 int64_t Table::IndexByteSize() const {
-  int64_t bytes = 0;
-  for (const auto& [name, index] : indexes_) {
-    // Estimate whether built or not: one posting per row plus bucket
-    // overhead, matching how the paper counts "index size".
-    bytes += static_cast<int64_t>(chunk_.num_rows()) * 16;
-  }
-  return bytes;
+  // Estimate whether built or not: one posting per row plus bucket
+  // overhead per index, matching how the paper counts "index size".
+  return static_cast<int64_t>(indexes_.size()) *
+         static_cast<int64_t>(chunk_.num_rows()) * 16;
 }
 
 }  // namespace orpheus::rel
