@@ -1,11 +1,23 @@
 // Google-benchmark microbenchmarks for OrpheusDB's primitive
 // operations: the array operators behind the data models, the
-// checkout join, commit under the two main data models, and the
-// LYRESPLIT partitioner itself.
+// checkout join, commit under the two main data models, the
+// LYRESPLIT partitioner itself, and the parallel scan pipeline
+// (thread-count sweeps over a large analytic scan and group-by).
+//
+// Flags (besides the usual --benchmark_* ones):
+//   --scale=<f>    grow the datasets by f (default 1)
+//   --threads=<n>  default scan parallelism for the non-sweep
+//                  benchmarks (0 = hardware; sweeps set their own)
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/data_model.h"
 #include "partition/lyresplit.h"
 #include "relstore/database.h"
@@ -13,6 +25,11 @@
 #include "workload/generator.h"
 
 namespace orpheus {
+
+// Set from the command line in main().
+double g_micro_scale = 1.0;
+int g_micro_threads = 0;  // 0 = hardware default
+
 namespace {
 
 // Shared medium dataset (generated once; benchmarks only read it).
@@ -20,10 +37,84 @@ const wl::Dataset& SharedData() {
   static const wl::Dataset* data = [] {
     wl::DatasetSpec spec = bench::MediumSpec(wl::WorkloadKind::kSci);
     spec.num_attrs = 10;
+    spec = bench::Scaled(spec, g_micro_scale);
     return new wl::Dataset(wl::Generate(spec));
   }();
   return *data;
 }
+
+// Large flat table for the scan sweeps (id INT, bucket INT, val
+// DOUBLE), built once.
+constexpr int64_t kScanRowsBase = 400000;
+
+int64_t ScanRows() {
+  return static_cast<int64_t>(static_cast<double>(kScanRowsBase) *
+                              g_micro_scale);
+}
+
+rel::Database& ScanDb() {
+  static rel::Database* db = [] {
+    auto* d = new rel::Database;
+    (void)d->Execute("CREATE TABLE scan_t (id INT, bucket INT, val DOUBLE)");
+    auto table = d->GetTable("scan_t");
+    rel::Chunk& chunk = table.value()->mutable_chunk();
+    Rng rng(20260729);
+    for (int64_t r = 0; r < ScanRows(); ++r) {
+      chunk.mutable_column(0).AppendInt(r);
+      chunk.mutable_column(1).AppendInt(static_cast<int64_t>(rng.Uniform(97)));
+      chunk.mutable_column(2).Append(rel::Value::Double(rng.NextDouble() * 100));
+    }
+    return d;
+  }();
+  return *db;
+}
+
+// The ROADMAP "scale the relstore" acceptance benchmark: a predicate
+// scan over the large table, swept over thread counts. Arg(n) is the
+// thread count; compare items/sec across Args for the speedup.
+void BM_ParallelScanThreads(benchmark::State& state) {
+  rel::Database& db = ScanDb();
+  SetExecThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "SELECT count(*) FROM scan_t "
+        "WHERE val * 0.5 + bucket >= 40.0 AND bucket % 7 <> 3");
+    if (!r.ok()) {
+      state.SkipWithError("scan failed");
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * ScanRows());
+  SetExecThreads(g_micro_threads);
+}
+BENCHMARK(BM_ParallelScanThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Grouped aggregation over the same table: exercises the per-batch
+// partial-state merge path.
+void BM_ParallelGroupByThreads(benchmark::State& state) {
+  rel::Database& db = ScanDb();
+  SetExecThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "SELECT bucket, count(*), sum(val), min(val), max(val) "
+        "FROM scan_t GROUP BY bucket");
+    if (!r.ok()) {
+      state.SkipWithError("group-by failed");
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * ScanRows());
+  SetExecThreads(g_micro_threads);
+}
+BENCHMARK(BM_ParallelGroupByThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ArrayContainmentScan(benchmark::State& state) {
   // The combined-table checkout predicate: ARRAY[v] <@ vlist per row.
@@ -149,4 +240,18 @@ BENCHMARK(BM_LyreSplitBudgetSearch);
 }  // namespace
 }  // namespace orpheus
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark strips its
+// own --benchmark_* flags, then we parse the harness flags (--scale,
+// --threads) from what remains.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  orpheus::Flags flags(argc, argv);
+  orpheus::g_micro_scale = flags.GetDouble("scale", 1.0);
+  int64_t threads = flags.GetInt("threads", 0);
+  orpheus::g_micro_threads = static_cast<int>(std::min<int64_t>(
+      std::max<int64_t>(threads, 0), orpheus::kMaxExecThreads));
+  orpheus::SetExecThreads(orpheus::g_micro_threads);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

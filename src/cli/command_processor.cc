@@ -1,9 +1,11 @@
 #include "cli/command_processor.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "cli/csv.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "core/data_model.h"
 #include "partition/lyresplit.h"
 
@@ -23,6 +25,7 @@ constexpr char kHelp[] =
     "  graph <cvd>               version graph as Graphviz dot\n"
     "  drop <cvd>\n"
     "  optimize <cvd> [-gamma <factor>]   partition with LYRESPLIT\n"
+    "  threads [<n>]             show or set scan parallelism (0 = hardware)\n"
     "  create_user <name> | config <name> | whoami\n"
     "  help | exit\n";
 
@@ -96,6 +99,20 @@ Result<std::string> CommandProcessor::Execute(const std::string& line) {
     }
     ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk out, orpheus_.db()->Execute(sql));
     return out.ToString(50);
+  }
+  if (cmd == "threads") {
+    // Scan parallelism for the relstore executor (the --threads flag's
+    // runtime equivalent). Takes effect for subsequent statements.
+    if (args.size() >= 2) {
+      char* end = nullptr;
+      long n = std::strtol(args[1].c_str(), &end, 10);
+      if (end == args[1].c_str() || *end != '\0' || n < 0) {
+        return Status::InvalidArgument("threads [<n>] with n >= 0");
+      }
+      // Clamp before narrowing so huge values can't wrap through int.
+      SetExecThreads(static_cast<int>(std::min<long>(n, kMaxExecThreads)));
+    }
+    return "exec threads: " + std::to_string(ExecThreads());
   }
   if (cmd == "init") return Init(args);
   if (cmd == "checkout") return Checkout(args);

@@ -29,6 +29,7 @@ class CommandProcessor {
   //   run <sql>            (versioned SQL; VERSION n OF CVD c)
   //   ls | drop <cvd> | graph <cvd>
   //   optimize <cvd> [-gamma <factor>]
+  //   threads [<n>]        (scan parallelism; 0 = hardware default)
   //   create_user <name> | config <name> | whoami
   //   help | exit
   Result<std::string> Execute(const std::string& line);

@@ -2,18 +2,26 @@
 // runner over the OrpheusDB middleware.
 //
 // Usage:
-//   orpheus                 interactive shell
-//   orpheus script <file>   execute commands from a file
-//   orpheus -c "<command>"  execute one command
+//   orpheus [--threads=<n>]                 interactive shell
+//   orpheus [--threads=<n>] script <file>   execute commands from a file
+//   orpheus [--threads=<n>] -c "<command>"  execute one command
+//
+// --threads sets the relstore scan parallelism (default: hardware
+// concurrency; 1 forces the serial execution path). It can also be
+// changed at runtime with the `threads` shell command.
 //
 // The backing database is in-memory and lives for the duration of the
 // process; `script` mode is the way to run multi-command workflows.
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "cli/command_processor.h"
+#include "common/flags.h"
+#include "common/thread_pool.h"
 
 namespace {
 
@@ -30,15 +38,23 @@ int RunLine(orpheus::cli::CommandProcessor* processor, const std::string& line) 
 }  // namespace
 
 int main(int argc, char** argv) {
-  orpheus::cli::CommandProcessor processor;
+  orpheus::Flags flags(argc, argv);
+  // 0 = hardware concurrency (the default); 1 = serial. Clamp before
+  // narrowing so huge flag values can't wrap through int.
+  int64_t threads = flags.GetInt("threads", 0);
+  orpheus::SetExecThreads(static_cast<int>(
+      std::min<int64_t>(std::max<int64_t>(threads, 0), orpheus::kMaxExecThreads)));
 
-  if (argc >= 3 && std::string(argv[1]) == "-c") {
-    return RunLine(&processor, argv[2]);
+  orpheus::cli::CommandProcessor processor;
+  const std::vector<std::string>& args = flags.positional();
+
+  if (args.size() >= 2 && args[0] == "-c") {
+    return RunLine(&processor, args[1]);
   }
-  if (argc >= 3 && std::string(argv[1]) == "script") {
-    std::ifstream in(argv[2]);
+  if (args.size() >= 2 && args[0] == "script") {
+    std::ifstream in(args[1]);
     if (!in) {
-      std::cerr << "error: cannot open script " << argv[2] << "\n";
+      std::cerr << "error: cannot open script " << args[1] << "\n";
       return 1;
     }
     std::string line;

@@ -1,0 +1,148 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace orpheus {
+
+ThreadPool::ThreadPool(int num_workers) {
+  num_workers = std::max(0, num_workers);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunShare(Job* job) {
+  while (true) {
+    int i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->count) return;
+    (*job->fn)(i);
+    if (job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last item: wake the caller. The lock orders the notify against
+      // the caller's predicate check.
+      std::lock_guard<std::mutex> lock(job->done_mu);
+      job->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (workers_.empty() || count == 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;  // safe: indices are exhausted before ParallelFor returns
+  job->count = count;
+  job->remaining.store(count, std::memory_order_relaxed);
+  // One share per worker is enough: each share loops until the index
+  // space is exhausted. Stale shares (job already finished) return
+  // immediately.
+  int shares = std::min(num_workers(), count - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int s = 0; s < shares; ++s) {
+      queue_.emplace_back([job] { RunShare(job.get()); });
+    }
+  }
+  cv_.notify_all();
+  RunShare(job.get());  // the caller works too
+  std::unique_lock<std::mutex> lock(job->done_mu);
+  job->done_cv.wait(lock, [&job] {
+    return job->remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+namespace {
+
+std::mutex g_exec_mu;
+int g_exec_threads = 0;  // 0 = unset -> hardware default
+std::unique_ptr<ThreadPool> g_exec_pool;  // sized ExecThreads() - 1
+
+}  // namespace
+
+void SetExecThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_exec_mu);
+  // Clamp here rather than at the flag/command entry points so no
+  // caller can ask the pool for an unbounded number of OS threads
+  // (std::thread construction failure would abort the process).
+  int resolved = n <= 0 ? 0 : std::min(n, kMaxExecThreads);
+  if (resolved == g_exec_threads) return;
+  g_exec_threads = resolved;
+  g_exec_pool.reset();  // rebuilt lazily at the new size
+}
+
+int ExecThreads() {
+  std::lock_guard<std::mutex> lock(g_exec_mu);
+  return g_exec_threads <= 0 ? HardwareThreads() : g_exec_threads;
+}
+
+void ExecParallelFor(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  ThreadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_exec_mu);
+    int threads = g_exec_threads <= 0 ? HardwareThreads() : g_exec_threads;
+    if (threads > 1) {
+      if (g_exec_pool == nullptr ||
+          g_exec_pool->num_workers() != threads - 1) {
+        g_exec_pool = std::make_unique<ThreadPool>(threads - 1);
+      }
+      pool = g_exec_pool.get();
+    }
+  }
+  if (pool == nullptr) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(count, fn);
+}
+
+Status ParallelBatchFor(size_t total, size_t batch_rows,
+                        const std::function<Status(size_t, size_t, size_t)>& fn) {
+  if (total == 0) return Status::OK();
+  const size_t nb = NumBatches(total, batch_rows);
+  if (nb == 1) return fn(0, total, 0);
+  std::vector<Status> batch_status(nb);
+  ExecParallelFor(static_cast<int>(nb), [&](int b) {
+    size_t begin = static_cast<size_t>(b) * batch_rows;
+    size_t end = std::min(total, begin + batch_rows);
+    batch_status[static_cast<size_t>(b)] =
+        fn(begin, end, static_cast<size_t>(b));
+  });
+  for (const Status& s : batch_status) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace orpheus

@@ -1,0 +1,129 @@
+// A small reusable worker pool plus the process-wide execution
+// parallelism knob used by the relstore scan pipeline.
+//
+// Thread-safety and ownership contracts:
+//  - ThreadPool owns its worker threads; the destructor drains and
+//    joins them. A ThreadPool may be shared by many callers, and
+//    ParallelFor may be invoked from multiple threads at once.
+//  - ParallelFor(count, fn) runs fn(0) .. fn(count-1) exactly once
+//    each and returns only after every invocation has finished. The
+//    calling thread participates in the work, so the call makes
+//    progress even when every worker is busy — nested ParallelFor
+//    calls (a task that itself fans out) cannot deadlock.
+//  - `fn` must be safe to invoke concurrently from multiple threads.
+//    Index-disjoint writes (each invocation writing only slot i of a
+//    pre-sized output) need no further synchronization.
+//  - Scheduling is work-stealing over an atomic index counter, so the
+//    ORDER in which indices run is nondeterministic; callers that need
+//    deterministic output must make each index's result independent of
+//    execution order (write to slot i, merge in index order afterward).
+//
+// Process-wide parallelism (the `--threads` flag):
+//  - SetExecThreads(n) fixes the parallelism used by ExecParallelFor;
+//    n <= 0 restores the default (hardware concurrency), and values
+//    above kMaxExecThreads are clamped so no flag/command entry point
+//    can ask the pool to spawn an absurd number of OS threads. 1
+//    disables the pool entirely: ExecParallelFor then runs its body
+//    serially, in index order, on the calling thread.
+//  - SetExecThreads is not meant to be called concurrently with
+//    running queries; configure parallelism between statements (the
+//    CLI, benches, and tests all do).
+
+#ifndef ORPHEUS_COMMON_THREAD_POOL_H_
+#define ORPHEUS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orpheus {
+
+// Sanity cap for SetExecThreads; requests above it are clamped.
+inline constexpr int kMaxExecThreads = 256;
+
+class ThreadPool {
+ public:
+  // Spawns `num_workers` threads (>= 0; 0 is a valid pool where
+  // ParallelFor degrades to a serial loop on the caller).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Runs fn(i) for every i in [0, count); blocks until all are done.
+  // See the header comment for the concurrency contract.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+ private:
+  // One ParallelFor's shared state. Kept alive by shared_ptr so a
+  // straggling worker that merely probes `next` after completion never
+  // touches freed memory.
+  struct Job {
+    const std::function<void(int)>* fn = nullptr;
+    int count = 0;
+    std::atomic<int> next{0};
+    std::atomic<int> remaining{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  static void RunShare(Job* job);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+// Hardware concurrency, clamped to >= 1.
+int HardwareThreads();
+
+// Sets the parallelism used by ExecParallelFor. n <= 0 selects the
+// hardware default; 1 forces serial execution; n > kMaxExecThreads is
+// clamped to kMaxExecThreads.
+void SetExecThreads(int n);
+
+// The currently configured parallelism (>= 1).
+int ExecThreads();
+
+// Runs fn(i) for i in [0, count) with ExecThreads()-way parallelism on
+// a lazily created shared pool. With ExecThreads() == 1 this is a
+// plain serial loop in index order on the caller — no pool, no
+// synchronization.
+void ExecParallelFor(int count, const std::function<void(int)>& fn);
+
+// Number of `batch_rows`-sized batches covering `total` items. The
+// single source of truth for the batch decomposition: callers that
+// pre-size per-batch result slots MUST use this so their indexing
+// agrees with ParallelBatchFor's.
+inline size_t NumBatches(size_t total, size_t batch_rows) {
+  return (total + batch_rows - 1) / batch_rows;
+}
+
+// Splits [0, total) into fixed `batch_rows`-sized batches and runs
+// fn(begin, end, batch_index) for each via ExecParallelFor. Returns
+// the first non-OK status **in batch order**, so errors are reported
+// deterministically no matter which worker hit one first. A single
+// batch runs inline on the caller with no scheduling. Batch
+// boundaries depend only on (total, batch_rows) — never on the thread
+// count — which is what lets callers merge per-batch results into
+// thread-count-independent (bit-identical) output.
+Status ParallelBatchFor(size_t total, size_t batch_rows,
+                        const std::function<Status(size_t, size_t, size_t)>& fn);
+
+}  // namespace orpheus
+
+#endif  // ORPHEUS_COMMON_THREAD_POOL_H_

@@ -13,6 +13,11 @@
 // Division of labour: the CVD layer (cvd.h) is the record manager — it
 // resolves which staged rows are new records and assigns rids. Models
 // only persist and retrieve.
+//
+// Execution: every checkout/commit here bottoms out in relstore SQL,
+// so the scans (vlist containment, unnest joins, rid probes) run on
+// the executor's batched parallel pipeline and scale with --threads
+// (see relstore/executor.h). Models never spawn threads themselves.
 
 #ifndef ORPHEUS_CORE_DATA_MODEL_H_
 #define ORPHEUS_CORE_DATA_MODEL_H_

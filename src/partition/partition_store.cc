@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace orpheus::part {
@@ -35,16 +36,25 @@ Status PartitionStore::InsertRecords(Phys* phys,
                                      const std::vector<RecordId>& rids) {
   if (rids.empty()) return Status::OK();
   ORPHEUS_ASSIGN_OR_RETURN(rel::Table * source, db_->GetTable(source_data_table_));
-  std::vector<uint32_t> rows;
-  rows.reserve(rids.size());
-  for (RecordId rid : rids) {
-    const std::vector<uint32_t>* hits = source->LookupInt("rid", rid);
-    if (hits == nullptr || hits->empty()) {
-      return Status::NotFound("record not in source data table: " +
-                              std::to_string(rid));
-    }
-    rows.push_back((*hits)[0]);
-  }
+  // Build the rid index once up front so the per-rid lookups below are
+  // pure reads, then resolve rid -> row position batch-parallel (the
+  // same fixed batching the scan executor uses; slot-per-rid writes
+  // keep the result order deterministic).
+  ORPHEUS_RETURN_NOT_OK(source->EnsureIndex("rid"));
+  std::vector<uint32_t> rows(rids.size());
+  ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
+      rids.size(), rel::kScanBatchRows,
+      [&](size_t begin, size_t end, size_t) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          const std::vector<uint32_t>* hits = source->LookupInt("rid", rids[i]);
+          if (hits == nullptr || hits->empty()) {
+            return Status::NotFound("record not in source data table: " +
+                                    std::to_string(rids[i]));
+          }
+          rows[i] = (*hits)[0];
+        }
+        return Status::OK();
+      }));
   ORPHEUS_ASSIGN_OR_RETURN(rel::Table * dest, db_->GetTable(phys->data_table));
   dest->mutable_chunk().GatherFrom(source->data(), rows);
   phys->records.insert(rids.begin(), rids.end());

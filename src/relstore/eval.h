@@ -4,6 +4,18 @@
 // (resolving column references to positions and pre-executing any
 // subqueries), then Eval() per row. Binding mutates Expr::bound_col,
 // so a bound expression is tied to one schema at a time.
+//
+// Thread-safety and ownership contracts:
+//  - The Evaluator does not own `executor` or the Exprs it binds; both
+//    must outlive it. Bind() mutates the Expr tree and this Evaluator's
+//    subquery caches, and may run nested SELECTs — it must only be
+//    called from the statement's coordinating thread, never from scan
+//    workers.
+//  - After Bind() has returned, Eval()/EvalPredicate() are const,
+//    touch only immutable state (the bound Expr tree, the chunk, the
+//    pre-executed subquery caches), and are safe to call concurrently
+//    from many threads. This is what lets the executor fan one bound
+//    predicate out across row batches (see executor.h).
 
 #ifndef ORPHEUS_RELSTORE_EVAL_H_
 #define ORPHEUS_RELSTORE_EVAL_H_

@@ -6,12 +6,17 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "relstore/database.h"
 #include "relstore/eval.h"
 
 namespace orpheus::rel {
 
 namespace {
+
+// Scan batches covering n rows; must agree with ParallelBatchFor's
+// decomposition, hence the shared helper.
+size_t NumScanBatches(size_t n) { return NumBatches(n, kScanBatchRows); }
 
 // Collects column references appearing in an expression tree.
 void CollectColumnRefs(const Expr& expr, std::vector<const Expr*>* out) {
@@ -120,6 +125,60 @@ Result<Executor::Input> Executor::ResolveTableRef(const TableRef& ref) {
   return input;
 }
 
+Status Executor::FilterSelection(const Evaluator& eval,
+                                 const std::vector<const Expr*>& conjuncts,
+                                 const Chunk& data,
+                                 std::vector<uint32_t>* sel) {
+  const size_t n = data.num_rows();
+  const size_t nb = NumScanBatches(n);
+  auto filter_range = [&](size_t begin, size_t end,
+                          std::vector<uint32_t>* out) -> Status {
+    for (size_t row = begin; row < end; ++row) {
+      bool pass = true;
+      for (const Expr* conjunct : conjuncts) {
+        ORPHEUS_ASSIGN_OR_RETURN(bool ok, eval.EvalPredicate(*conjunct, data, row));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) out->push_back(static_cast<uint32_t>(row));
+    }
+    return Status::OK();
+  };
+  if (nb <= 1) {
+    // Single batch: run inline, no scheduling.
+    return filter_range(0, n, sel);
+  }
+  std::vector<std::vector<uint32_t>> parts(nb);
+  ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
+      n, kScanBatchRows, [&](size_t begin, size_t end, size_t b) {
+        return filter_range(begin, end, &parts[b]);
+      }));
+  size_t total = sel->size();
+  for (const std::vector<uint32_t>& part : parts) total += part.size();
+  sel->reserve(total);
+  for (const std::vector<uint32_t>& part : parts) {
+    sel->insert(sel->end(), part.begin(), part.end());
+  }
+  return Status::OK();
+}
+
+Status Executor::EvalScalarBatched(const Evaluator& eval, const Expr& expr,
+                                   const Chunk& data,
+                                   const std::vector<uint32_t>& sel,
+                                   std::vector<Value>* out) {
+  out->assign(sel.size(), Value());
+  return ParallelBatchFor(
+      sel.size(), kScanBatchRows,
+      [&](size_t begin, size_t end, size_t) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          ORPHEUS_ASSIGN_OR_RETURN((*out)[i], eval.Eval(expr, data, sel[i]));
+        }
+        return Status::OK();
+      });
+}
+
 Status Executor::PushDownFilters(std::vector<Input>* inputs,
                                  std::vector<const Expr*>* conjuncts) {
   std::vector<const Expr*> remaining;
@@ -149,17 +208,7 @@ Status Executor::PushDownFilters(std::vector<Input>* inputs,
     }
     const Chunk& src = *input.data;
     std::vector<uint32_t> sel;
-    for (size_t row = 0; row < src.num_rows(); ++row) {
-      bool pass = true;
-      for (const Expr* conjunct : per_input[i]) {
-        ORPHEUS_ASSIGN_OR_RETURN(bool ok, eval.EvalPredicate(*conjunct, src, row));
-        if (!ok) {
-          pass = false;
-          break;
-        }
-      }
-      if (pass) sel.push_back(static_cast<uint32_t>(row));
-    }
+    ORPHEUS_RETURN_NOT_OK(FilterSelection(eval, per_input[i], src, &sel));
     db_->stats()->rows_scanned += static_cast<int64_t>(src.num_rows());
     db_->stats()->pages_read +=
         input.base != nullptr ? input.base->num_pages() : ChunkPages(src);
@@ -507,17 +556,7 @@ Result<Chunk> Executor::RunSelect(const SelectStmt& select) {
     for (const Expr* conjunct : conjuncts) {
       ORPHEUS_RETURN_NOT_OK(eval.Bind(const_cast<Expr*>(conjunct), joined.schema));
     }
-    for (size_t row = 0; row < data.num_rows(); ++row) {
-      bool pass = true;
-      for (const Expr* conjunct : conjuncts) {
-        ORPHEUS_ASSIGN_OR_RETURN(bool ok, eval.EvalPredicate(*conjunct, data, row));
-        if (!ok) {
-          pass = false;
-          break;
-        }
-      }
-      if (pass) sel.push_back(static_cast<uint32_t>(row));
-    }
+    ORPHEUS_RETURN_NOT_OK(FilterSelection(eval, conjuncts, data, &sel));
     db_->stats()->rows_scanned += static_cast<int64_t>(data.num_rows());
     db_->stats()->pages_read += joined.base != nullptr
                                     ? joined.base->num_pages()
@@ -667,16 +706,18 @@ Result<Chunk> Executor::Project(const SelectStmt& select, const Input& input,
       out_schema.AddColumn(oc.name, type);
     }
     Chunk out(out_schema);
+    std::vector<Value> computed;
     for (size_t c = 0; c < out_cols.size(); ++c) {
       const OutCol& oc = out_cols[c];
       Column& dst = out.mutable_column(static_cast<int>(c));
       if (oc.source_col >= 0) {
         dst.Gather(data.column(oc.source_col), sel);
       } else {
-        for (uint32_t row : sel) {
-          ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*oc.expr, data, row));
-          dst.Append(v);
-        }
+        // Evaluate into a slot-per-row buffer on the pool, then append
+        // in row order on this thread.
+        ORPHEUS_RETURN_NOT_OK(
+            EvalScalarBatched(eval, *oc.expr, data, sel, &computed));
+        for (const Value& v : computed) dst.Append(v);
       }
     }
     return out;
@@ -803,50 +844,127 @@ Result<Chunk> Executor::Aggregate(const SelectStmt& select, const Input& input,
     Value max;
     Value rep;  // representative group expression value
   };
+
+  // Per-batch partial aggregation state. Each batch accumulates its
+  // slice of `sel` into private hash tables; the batches are then
+  // merged below in batch order, which makes the group output order
+  // (first occurrence in row order) and the floating-point rounding of
+  // SUM/AVG independent of the thread count.
+  struct BatchAgg {
+    std::unordered_map<std::string, size_t> index;
+    std::vector<std::string> keys;              // insertion order
+    std::vector<std::vector<AggState>> groups;  // parallel to keys
+  };
+
+  const size_t nb = NumScanBatches(sel.size());
+  std::vector<BatchAgg> batch_aggs(nb);
+  auto aggregate_range = [&](size_t begin, size_t end,
+                             BatchAgg* agg) -> Status {
+    std::string key;
+    for (size_t i = begin; i < end; ++i) {
+      uint32_t row = sel[i];
+      key.clear();
+      for (const ExprPtr& g : select.group_by) {
+        ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*g, data, row));
+        EncodeValue(v, &key);
+      }
+      auto [it, inserted] = agg->index.try_emplace(key, agg->groups.size());
+      if (inserted) {
+        agg->keys.push_back(key);
+        agg->groups.emplace_back(plans.size());
+      }
+      std::vector<AggState>& states = agg->groups[it->second];
+      for (size_t p = 0; p < plans.size(); ++p) {
+        const ItemPlan& plan = plans[p];
+        AggState& st = states[p];
+        switch (plan.kind) {
+          case AggKind::kGroupExpr: {
+            if (st.count == 0) {
+              ORPHEUS_ASSIGN_OR_RETURN(st.rep, eval.Eval(*plan.arg, data, row));
+            }
+            ++st.count;
+            break;
+          }
+          case AggKind::kCountStar:
+            ++st.count;
+            break;
+          default: {
+            ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*plan.arg, data, row));
+            if (v.is_null()) break;
+            ++st.count;
+            if (plan.kind == AggKind::kCount) break;
+            if (plan.kind == AggKind::kSum || plan.kind == AggKind::kAvg) {
+              if (v.type() == DataType::kInt64 && st.sum_is_int) {
+                st.isum += v.AsInt();
+              } else {
+                st.sum_is_int = false;
+              }
+              st.sum += v.AsDouble();
+            } else if (plan.kind == AggKind::kMin) {
+              if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
+            } else {
+              if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
+            }
+            break;
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+  ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
+      sel.size(), kScanBatchRows, [&](size_t begin, size_t end, size_t b) {
+        return aggregate_range(begin, end, &batch_aggs[b]);
+      }));
+
+  // Deterministic merge: batches in order, groups in each batch's
+  // first-occurrence order. This reproduces the sequential scan's
+  // group discovery order exactly.
   std::unordered_map<std::string, size_t> group_index;
   std::vector<std::vector<AggState>> groups;  // [group][item]
-
-  for (uint32_t row : sel) {
-    std::string key;
-    for (const ExprPtr& g : select.group_by) {
-      ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*g, data, row));
-      EncodeValue(v, &key);
-    }
-    auto [it, inserted] = group_index.try_emplace(key, groups.size());
-    if (inserted) groups.emplace_back(plans.size());
-    std::vector<AggState>& states = groups[it->second];
-    for (size_t p = 0; p < plans.size(); ++p) {
-      const ItemPlan& plan = plans[p];
-      AggState& st = states[p];
-      switch (plan.kind) {
-        case AggKind::kGroupExpr: {
-          if (st.count == 0) {
-            ORPHEUS_ASSIGN_OR_RETURN(st.rep, eval.Eval(*plan.arg, data, row));
-          }
-          ++st.count;
-          break;
-        }
-        case AggKind::kCountStar:
-          ++st.count;
-          break;
-        default: {
-          ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*plan.arg, data, row));
-          if (v.is_null()) break;
-          ++st.count;
-          if (plan.kind == AggKind::kCount) break;
-          if (plan.kind == AggKind::kSum || plan.kind == AggKind::kAvg) {
-            if (v.type() == DataType::kInt64 && st.sum_is_int) {
-              st.isum += v.AsInt();
-            } else {
-              st.sum_is_int = false;
+  for (BatchAgg& agg : batch_aggs) {
+    for (size_t g = 0; g < agg.keys.size(); ++g) {
+      auto [it, inserted] =
+          group_index.try_emplace(std::move(agg.keys[g]), groups.size());
+      if (inserted) {
+        groups.push_back(std::move(agg.groups[g]));
+        continue;
+      }
+      std::vector<AggState>& into = groups[it->second];
+      const std::vector<AggState>& from = agg.groups[g];
+      for (size_t p = 0; p < plans.size(); ++p) {
+        AggState& st = into[p];
+        const AggState& other = from[p];
+        switch (plans[p].kind) {
+          case AggKind::kGroupExpr:
+            // `rep` stays from the earliest batch that saw the group.
+            st.count += other.count;
+            break;
+          case AggKind::kCountStar:
+          case AggKind::kCount:
+            st.count += other.count;
+            break;
+          case AggKind::kSum:
+          case AggKind::kAvg:
+            st.count += other.count;
+            if (!other.sum_is_int) st.sum_is_int = false;
+            st.isum += other.isum;
+            st.sum += other.sum;
+            break;
+          case AggKind::kMin:
+            st.count += other.count;
+            if (!other.min.is_null() &&
+                (st.min.is_null() || other.min.Compare(st.min) < 0)) {
+              st.min = other.min;
             }
-            st.sum += v.AsDouble();
-          } else if (plan.kind == AggKind::kMin) {
-            if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
-          } else {
-            if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
-          }
-          break;
+            break;
+          case AggKind::kMax:
+            st.count += other.count;
+            if (!other.max.is_null() &&
+                (st.max.is_null() || other.max.Compare(st.max) > 0)) {
+              st.max = other.max;
+            }
+            break;
         }
       }
     }

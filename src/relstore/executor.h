@@ -6,6 +6,30 @@
 //   -> aggregation or projection (incl. unnest expansion) -> DISTINCT
 //   -> ORDER BY -> LIMIT.
 //
+// Parallel batched scans. Filter evaluation, aggregation, and computed
+// projections operate on fixed-size row batches (kScanBatchRows) that
+// are scheduled across the shared execution pool (common/thread_pool.h,
+// the --threads knob). Batch boundaries depend only on the data, never
+// on the thread count, and per-batch partial results are merged on the
+// calling thread in batch order — so results are bit-identical for
+// every --threads setting, including the floating-point aggregates.
+// With --threads=1 batches run serially in order on the caller.
+// Note the invariant is thread-count independence, not equality with
+// the pre-batching code: inputs up to one batch (most unit tests) are
+// processed exactly as before, but a float SUM/AVG over several
+// batches accumulates per-batch partial sums, whose last-bit rounding
+// can differ from the old row-sequential accumulation — identically
+// at every thread setting.
+//
+// Thread-safety and ownership contracts:
+//  - Executor is a thin stateless facade over Database*; it does not
+//    own the database. One Executor serves one statement at a time:
+//    RunSelect is NOT safe to call concurrently on the same Database
+//    (it mutates catalog stats and, for INTO/DML, catalog state).
+//    Intra-query parallelism is internal and invisible to callers.
+//  - Worker threads only ever read the input chunks and write to
+//    batch-private buffers; all merging happens on the calling thread.
+//
 // The executor also charges a simple page-I/O model per operator (see
 // table.h) so experiments can report modeled I/O next to wall time.
 
@@ -25,6 +49,14 @@
 namespace orpheus::rel {
 
 class Database;
+class Evaluator;
+
+// Rows per scan batch. Fixed (not derived from the thread count) so
+// that batch decomposition — and therefore every merged result,
+// including float aggregate rounding — is identical no matter how many
+// threads execute the batches. Inputs smaller than one batch take a
+// single-batch path with zero scheduling overhead.
+inline constexpr size_t kScanBatchRows = 2048;
 
 // Join algorithm selection, as in the Appendix D.1 experiments.
 enum class JoinMethod {
@@ -33,7 +65,8 @@ enum class JoinMethod {
   kIndexNestedLoop,  // probe a base-table index per outer row
 };
 
-// Logical execution counters, cumulative until Reset().
+// Logical execution counters, cumulative until Reset(). Updated by the
+// calling thread only (never from scan workers), after each operator.
 struct ExecStats {
   int64_t rows_scanned = 0;   // rows examined by scans and probes
   int64_t index_probes = 0;   // point lookups into table indexes
@@ -61,6 +94,21 @@ class Executor {
 
   Result<Input> ResolveTableRef(const TableRef& ref);
 
+  // Evaluates the conjunction of `conjuncts` (already bound against
+  // data's schema via `eval`) over every row of `data`, appending the
+  // passing row ids to *sel in row order. Batches are fanned out over
+  // the execution pool; on error, the lowest-batch error wins.
+  Status FilterSelection(const Evaluator& eval,
+                         const std::vector<const Expr*>& conjuncts,
+                         const Chunk& data, std::vector<uint32_t>* sel);
+
+  // Evaluates a bound scalar expression for every selected row into
+  // (*out)[i] (pre-sized by this call), batched over the pool.
+  Status EvalScalarBatched(const Evaluator& eval, const Expr& expr,
+                           const Chunk& data,
+                           const std::vector<uint32_t>& sel,
+                           std::vector<Value>* out);
+
   // Applies the single-input conjuncts of `where` to each input
   // (predicate pushdown); materializes filtered inputs.
   Status PushDownFilters(std::vector<Input>* inputs,
@@ -74,6 +122,10 @@ class Executor {
   Result<Input> JoinPair(Input left, Input right,
                          const std::vector<std::pair<const Expr*, const Expr*>>& keys);
 
+  // Grouped/global aggregation over the selected rows. Internally
+  // computes per-batch partial aggregate states and merges them in
+  // batch order (deterministic group order = first occurrence in row
+  // order; deterministic float rounding for any thread count).
   Result<Chunk> Aggregate(const SelectStmt& select, const Input& input,
                           const std::vector<uint32_t>& sel);
   Result<Chunk> Project(const SelectStmt& select, const Input& input,

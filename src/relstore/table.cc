@@ -82,6 +82,17 @@ const std::vector<uint32_t>* Table::LookupInt(const std::string& column, int64_t
   return &hit->second;
 }
 
+Status Table::EnsureIndex(const std::string& column) {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index declared on " + column + " in " + name_);
+  }
+  if (!it->second.built) {
+    ORPHEUS_RETURN_NOT_OK(BuildIndex(column, &it->second));
+  }
+  return Status::OK();
+}
+
 void Table::InvalidateIndexes() {
   for (auto& [name, index] : indexes_) {
     index.built = false;

@@ -60,7 +60,17 @@ class Table {
 
   // Row positions whose `column` equals `key`; empty if none.
   // Builds the index on first use after a modification.
+  //
+  // Concurrency: LookupInt may rebuild a stale index, so it is not
+  // safe to call from scan workers directly. Call EnsureIndex first
+  // (on the coordinating thread); after it succeeds, LookupInt is a
+  // pure read and may be called concurrently until the next DML.
   const std::vector<uint32_t>* LookupInt(const std::string& column, int64_t key);
+
+  // Forces the (declared) index on `column` to be built now, so that
+  // subsequent LookupInt calls are read-only. Errors if no index was
+  // declared on `column`.
+  Status EnsureIndex(const std::string& column);
 
   void InvalidateIndexes();
 

@@ -85,6 +85,15 @@ TEST_F(CliTest, HelpAndUsers) {
   EXPECT_FALSE(processor_.Execute("config nobody").ok());
 }
 
+TEST_F(CliTest, ThreadsCommandShowsAndSetsParallelism) {
+  EXPECT_EQ(Must("threads 3"), "exec threads: 3");
+  EXPECT_EQ(Must("threads"), "exec threads: 3");
+  EXPECT_EQ(Must("threads 1"), "exec threads: 1");
+  EXPECT_FALSE(processor_.Execute("threads -2").ok());
+  EXPECT_FALSE(processor_.Execute("threads many").ok());
+  Must("threads 0");  // restore the hardware default
+}
+
 TEST_F(CliTest, FullVersioningFlow) {
   Must("init protein -f " + csv_path_ + " -pk protein1,protein2");
   EXPECT_NE(Must("ls").find("protein"), std::string::npos);

@@ -1,14 +1,18 @@
 // Unit tests for the common module: Status/Result, string helpers,
-// RNG determinism, and flag parsing.
+// RNG determinism, flag parsing, and the thread pool.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 
 namespace orpheus {
 namespace {
@@ -153,6 +157,103 @@ TEST(FlagsTest, PositionalAndBoolFalse) {
   ASSERT_EQ(flags.positional().size(), 1u);
   EXPECT_EQ(flags.positional()[0], "cmd");
   EXPECT_FALSE(flags.GetBool("flag", true));
+}
+
+// --- ThreadPool --------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  constexpr int kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&](int i) { hits[static_cast<size_t>(i)]++; });
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersDegradesToSerialInOrder) {
+  ThreadPool pool(0);
+  std::vector<int> order;
+  pool.ParallelFor(5, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleCounts) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](int) {
+    pool.ParallelFor(4, [&](int) { total++; });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, [&](int i) { sum += i; });
+    ASSERT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ExecThreadsTest, SetAndGetRoundTrip) {
+  SetExecThreads(3);
+  EXPECT_EQ(ExecThreads(), 3);
+  SetExecThreads(1);
+  EXPECT_EQ(ExecThreads(), 1);
+  SetExecThreads(0);  // restore hardware default
+  EXPECT_EQ(ExecThreads(), HardwareThreads());
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+TEST(ExecThreadsTest, AbsurdRequestsAreClamped) {
+  SetExecThreads(1000000);
+  EXPECT_EQ(ExecThreads(), kMaxExecThreads);
+  SetExecThreads(0);
+}
+
+TEST(ExecThreadsTest, ParallelBatchForReportsFirstErrorInBatchOrder) {
+  SetExecThreads(4);
+  // Batches 1 and 3 fail; batch order says batch 1's error wins.
+  Status st = ParallelBatchFor(
+      1000, 100, [](size_t, size_t, size_t b) -> Status {
+        if (b == 1) return Status::InvalidArgument("batch one");
+        if (b == 3) return Status::Internal("batch three");
+        return Status::OK();
+      });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "batch one");
+  // Zero items: no calls, OK.
+  int calls = 0;
+  EXPECT_TRUE(ParallelBatchFor(0, 100, [&](size_t, size_t, size_t) {
+                ++calls;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(calls, 0);
+  SetExecThreads(0);
+}
+
+TEST(ExecThreadsTest, ExecParallelForCoversRangeAtAnySetting) {
+  for (int threads : {1, 2, 4}) {
+    SetExecThreads(threads);
+    std::vector<std::atomic<int>> hits(5000);
+    ExecParallelFor(5000, [&](int i) { hits[static_cast<size_t>(i)]++; });
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "threads " << threads << " index " << i;
+    }
+  }
+  SetExecThreads(0);
 }
 
 }  // namespace

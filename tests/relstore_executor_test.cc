@@ -1,9 +1,13 @@
 // End-to-end tests for the relstore engine: DDL, DML, scans, joins
-// (all three algorithms), aggregation, unnest, and the exact SQL
-// shapes OrpheusDB's query translator emits (the paper's Table 1).
+// (all three algorithms), aggregation, unnest, the exact SQL shapes
+// OrpheusDB's query translator emits (the paper's Table 1), and the
+// chunk-boundary cases of the batched parallel scan pipeline.
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/thread_pool.h"
 #include "relstore/database.h"
 
 namespace orpheus::rel {
@@ -279,6 +283,117 @@ TEST_F(JoinTest, StatsAccumulateAndReset) {
   db_.ResetStats();
   EXPECT_EQ(db_.stats()->rows_scanned, 0);
 }
+
+// --- Batch-boundary cases of the parallel scan pipeline ---------------
+//
+// Parameterized over the thread setting so every case runs both on the
+// serial path (--threads=1) and on the pool (--threads=4). The batched
+// executor must behave identically at 0 rows, 1 row, exactly one batch,
+// one-past-a-batch, and when a predicate selects nothing.
+
+class BatchBoundaryTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { SetExecThreads(GetParam()); }
+  void TearDown() override { SetExecThreads(0); }
+
+  // Builds table `name` (a INT, val DOUBLE) with rows a = 0..n-1,
+  // val = a * 0.5, appended through the bulk path (fast enough to
+  // cross batch boundaries in a unit test).
+  void BuildTable(Database* db, const std::string& name, size_t n) {
+    ASSERT_TRUE(db->Execute("CREATE TABLE " + name + " (a INT, val DOUBLE)").ok());
+    auto table = db->GetTable(name);
+    ASSERT_TRUE(table.ok());
+    Chunk& chunk = table.value()->mutable_chunk();
+    for (size_t i = 0; i < n; ++i) {
+      chunk.mutable_column(0).AppendInt(static_cast<int64_t>(i));
+      chunk.mutable_column(1).Append(Value::Double(static_cast<double>(i) * 0.5));
+    }
+  }
+};
+
+TEST_P(BatchBoundaryTest, EmptyTable) {
+  Database db;
+  BuildTable(&db, "t", 0);
+  auto scan = db.Execute("SELECT a FROM t WHERE a >= 0");
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan.value().num_rows(), 0u);
+  auto agg = db.Execute("SELECT count(*), sum(val) FROM t");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg.value().Get(0, 0).AsInt(), 0);
+  EXPECT_TRUE(agg.value().Get(0, 1).is_null());
+  auto grouped = db.Execute("SELECT a, count(*) FROM t GROUP BY a");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped.value().num_rows(), 0u);
+}
+
+TEST_P(BatchBoundaryTest, SingleRow) {
+  Database db;
+  BuildTable(&db, "t", 1);
+  auto scan = db.Execute("SELECT a, val * 2.0 FROM t WHERE a = 0");
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan.value().num_rows(), 1u);
+  EXPECT_EQ(scan.value().Get(0, 0).AsInt(), 0);
+  auto agg = db.Execute("SELECT count(*), min(a), max(a) FROM t");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg.value().Get(0, 0).AsInt(), 1);
+}
+
+TEST_P(BatchBoundaryTest, PredicateSelectsZeroRows) {
+  Database db;
+  BuildTable(&db, "t", kScanBatchRows * 2 + 5);
+  auto scan = db.Execute("SELECT a FROM t WHERE a < 0");
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan.value().num_rows(), 0u);
+  auto agg = db.Execute("SELECT sum(a) FROM t WHERE a < 0");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(agg.value().Get(0, 0).is_null());
+}
+
+TEST_P(BatchBoundaryTest, ExactlyOneBatchAndOnePast) {
+  Database db;
+  BuildTable(&db, "exact", kScanBatchRows);
+  BuildTable(&db, "past", kScanBatchRows + 1);
+  for (const std::string& name : {std::string("exact"), std::string("past")}) {
+    size_t n = name == "exact" ? kScanBatchRows : kScanBatchRows + 1;
+    auto count = db.Execute("SELECT count(*) FROM " + name + " WHERE a % 2 = 0");
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    EXPECT_EQ(count.value().Get(0, 0).AsInt(),
+              static_cast<int64_t>((n + 1) / 2))
+        << name;
+    // Selection order must be row order across the batch seam.
+    auto rows = db.Execute("SELECT a FROM " + name + " WHERE a >= " +
+                           std::to_string(kScanBatchRows - 2));
+    ASSERT_TRUE(rows.ok());
+    for (size_t i = 0; i < rows.value().num_rows(); ++i) {
+      EXPECT_EQ(rows.value().Get(i, 0).AsInt(),
+                static_cast<int64_t>(kScanBatchRows - 2 + i))
+          << name;
+    }
+  }
+}
+
+TEST_P(BatchBoundaryTest, GroupOrderIsFirstOccurrenceAcrossBatches) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE g (k INT)").ok());
+  auto table = db.GetTable("g");
+  ASSERT_TRUE(table.ok());
+  Chunk& chunk = table.value()->mutable_chunk();
+  // Key i first appears at row i * 700, so later batches introduce
+  // new keys and earlier keys recur across every batch seam.
+  const size_t n = kScanBatchRows * 3;
+  for (size_t i = 0; i < n; ++i) {
+    chunk.mutable_column(0).AppendInt(static_cast<int64_t>(i / 700));
+  }
+  auto grouped = db.Execute("SELECT k, count(*) FROM g GROUP BY k");
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  // Without ORDER BY, groups surface in first-occurrence row order.
+  for (size_t i = 0; i < grouped.value().num_rows(); ++i) {
+    EXPECT_EQ(grouped.value().Get(i, 0).AsInt(), static_cast<int64_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSettings, BatchBoundaryTest,
+                         ::testing::Values(1, 4));
 
 // --- Error paths -------------------------------------------------------
 

@@ -1,15 +1,19 @@
 // Property-style tests of the relstore engine against reference
 // implementations, over randomized inputs: filters, aggregation, the
 // agreement of the three join algorithms, DML consistency, schema
-// evolution, and the sorted-array codec.
+// evolution, the sorted-array codec, and the bit-identical agreement
+// of the parallel scan path with the serial one.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <set>
+#include <string>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "relstore/database.h"
 #include "relstore/intarray_codec.h"
 
@@ -134,6 +138,71 @@ TEST_P(RandomFilterTest, DeleteThenCountConsistent) {
   auto gone = db.Execute("SELECT count(*) FROM t WHERE bucket = 2");
   ASSERT_TRUE(gone.ok());
   EXPECT_EQ(gone.value().Get(0, 0).AsInt(), 0);
+}
+
+// Parallel execution regression (ISSUE 2): --threads=N must be
+// BIT-identical to --threads=1 on the property corpus — same rows,
+// same order, and exact binary equality for doubles (the executor's
+// fixed batch decomposition guarantees identical float rounding for
+// every thread count).
+TEST_P(RandomFilterTest, ParallelExecutionBitIdenticalToSerial) {
+  // Restore the hardware default even when an ASSERT exits the test
+  // early, so a failure here can't bleed into the rest of the suite.
+  struct ExecThreadsRestorer {
+    ~ExecThreadsRestorer() { SetExecThreads(0); }
+  } restore_threads;
+
+  const std::vector<std::string> queries = {
+      // Filter + computed projection crossing several batches.
+      "SELECT id, val * 3.0 + bucket FROM t WHERE val < 66.0 AND bucket >= 2",
+      // Grouped float aggregation (the merge-sensitive path).
+      "SELECT bucket, count(*), sum(val), avg(val), min(val), max(val) "
+      "FROM t GROUP BY bucket",
+      // Global aggregate, no grouping.
+      "SELECT count(*), sum(val), min(id), max(id) FROM t WHERE bucket <> 3",
+      // Order by a float expression (sort keys computed per row).
+      "SELECT id FROM t WHERE bucket < 9 ORDER BY val DESC LIMIT 500",
+  };
+
+  auto bits_equal = [](const Value& a, const Value& b) {
+    if (a.is_null() != b.is_null()) return false;
+    if (a.is_null()) return true;
+    if (a.type() != b.type()) return false;
+    if (a.type() == DataType::kDouble) {
+      double x = a.AsDouble();
+      double y = b.AsDouble();
+      return std::memcmp(&x, &y, sizeof(x)) == 0;
+    }
+    return a.Equals(b);
+  };
+
+  // 10k rows = several kScanBatchRows batches.
+  Rng rng(GetParam() + 4000);
+  Database db;
+  BuildRandomTable(&db, "t", 10000, 10, &rng, nullptr);
+
+  for (const std::string& query : queries) {
+    SetExecThreads(1);
+    auto serial = db.Execute(query);
+    ASSERT_TRUE(serial.ok()) << query << " -> " << serial.status().ToString();
+    for (int threads : {2, 4, 8}) {
+      SetExecThreads(threads);
+      auto parallel = db.Execute(query);
+      ASSERT_TRUE(parallel.ok()) << query;
+      const Chunk& s = serial.value();
+      const Chunk& p = parallel.value();
+      ASSERT_EQ(s.num_rows(), p.num_rows()) << query << " threads " << threads;
+      ASSERT_EQ(s.num_columns(), p.num_columns()) << query;
+      for (size_t r = 0; r < s.num_rows(); ++r) {
+        for (int c = 0; c < s.num_columns(); ++c) {
+          ASSERT_TRUE(bits_equal(s.Get(r, c), p.Get(r, c)))
+              << query << " threads " << threads << " row " << r << " col "
+              << c << ": " << s.Get(r, c).ToString() << " vs "
+              << p.Get(r, c).ToString();
+        }
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomFilterTest,

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links resolve to real files.
+
+Usage: check_md_links.py <file-or-dir>...
+
+Scans the given markdown files (directories are searched recursively
+for *.md) for inline links/images `[text](target)`. Relative targets
+must exist on disk, resolved against the containing file's directory;
+a `#fragment` suffix is ignored. External (scheme:// or mailto:) and
+pure-fragment links are skipped. Exits 1 and lists every broken link
+if any target is missing.
+"""
+
+import os
+import re
+import sys
+
+# Inline link or image. Good enough for the plain markdown in this
+# repo; reference-style links are not used here.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def collect_md_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md")
+                )
+        else:
+            files.append(path)
+    return sorted(set(files))
+
+
+def check_file(md_path):
+    broken = []
+    try:
+        with open(md_path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return [(md_path, str(e))]
+    in_code = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), target_path)
+            )
+            if not os.path.exists(resolved):
+                broken.append((md_path, target))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    files = collect_md_files(argv[1:])
+    for md in files:
+        broken.extend(check_file(md))
+    for md, target in broken:
+        print(f"BROKEN: {md}: ({target})")
+    print(f"checked {len(files)} markdown file(s), {len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
