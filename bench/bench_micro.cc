@@ -1,8 +1,9 @@
 // Google-benchmark microbenchmarks for OrpheusDB's primitive
 // operations: the array operators behind the data models, the
 // checkout join, commit under the two main data models, the
-// LYRESPLIT partitioner itself, and the parallel scan pipeline
-// (thread-count sweeps over a large analytic scan and group-by).
+// LYRESPLIT partitioner itself, and the parallel execution pipeline
+// (thread-count sweeps over a large analytic scan, group-by,
+// hash join, and ORDER BY sort).
 //
 // Flags (besides the usual --benchmark_* ones):
 //   --scale=<f>    grow the datasets by f (default 1)
@@ -112,6 +113,84 @@ void BM_ParallelGroupByThreads(benchmark::State& state) {
   SetExecThreads(g_micro_threads);
 }
 BENCHMARK(BM_ParallelGroupByThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Join-shaped tables for the join/sort sweeps: a fact table (1/2 of
+// ScanRows(), ~4 rows per key) joined to a dimension table (1/8 of
+// ScanRows(), ~1 row per key), built once.
+rel::Database& JoinDb() {
+  static rel::Database* db = [] {
+    auto* d = new rel::Database;
+    (void)d->Execute("CREATE TABLE fact_t (id INT, k INT, val DOUBLE)");
+    (void)d->Execute("CREATE TABLE dim_t (k INT, weight DOUBLE)");
+    const int64_t fact_rows = ScanRows() / 2;
+    const int64_t dim_rows = ScanRows() / 8;
+    Rng rng(20260730);
+    {
+      rel::Chunk& chunk = d->GetTable("fact_t").value()->mutable_chunk();
+      for (int64_t r = 0; r < fact_rows; ++r) {
+        chunk.mutable_column(0).AppendInt(r);
+        chunk.mutable_column(1).AppendInt(
+            static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(dim_rows))));
+        chunk.mutable_column(2).Append(rel::Value::Double(rng.NextDouble()));
+      }
+    }
+    {
+      rel::Chunk& chunk = d->GetTable("dim_t").value()->mutable_chunk();
+      for (int64_t r = 0; r < dim_rows; ++r) {
+        chunk.mutable_column(0).AppendInt(r);
+        chunk.mutable_column(1).Append(rel::Value::Double(rng.NextDouble()));
+      }
+    }
+    return d;
+  }();
+  return *db;
+}
+
+// Hash-join build+probe+materialize swept over thread counts (the
+// ISSUE-3 parallel-join acceptance benchmark). Arg(n) is the thread
+// count; compare items/sec across Args for the speedup.
+void BM_ParallelJoinThreads(benchmark::State& state) {
+  rel::Database& db = JoinDb();
+  SetExecThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "SELECT count(*), sum(f.val * d.weight) FROM fact_t f, dim_t d "
+        "WHERE f.k = d.k");
+    if (!r.ok()) {
+      state.SkipWithError("join failed");
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * (ScanRows() / 2));
+  SetExecThreads(g_micro_threads);
+}
+BENCHMARK(BM_ParallelJoinThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ORDER BY over the large scan table: batch-parallel sort-key
+// evaluation plus the deterministic parallel merge sort.
+void BM_ParallelSortThreads(benchmark::State& state) {
+  rel::Database& db = ScanDb();
+  SetExecThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "SELECT id, bucket, val FROM scan_t ORDER BY val DESC, id");
+    if (!r.ok()) {
+      state.SkipWithError("sort failed");
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * ScanRows());
+  SetExecThreads(g_micro_threads);
+}
+BENCHMARK(BM_ParallelSortThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);

@@ -32,6 +32,7 @@
 #ifndef ORPHEUS_COMMON_THREAD_POOL_H_
 #define ORPHEUS_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -40,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -123,6 +125,55 @@ inline size_t NumBatches(size_t total, size_t batch_rows) {
 // thread-count-independent (bit-identical) output.
 Status ParallelBatchFor(size_t total, size_t batch_rows,
                         const std::function<Status(size_t, size_t, size_t)>& fn);
+
+// Deterministic parallel stable sort: splits `items` into fixed
+// `run_rows`-sized runs, stable-sorts each run on the pool, then
+// merges runs pairwise in a fixed binary tree (each round's merges
+// also run on the pool). Because the run boundaries and the merge
+// tree depend only on (items->size(), run_rows) — never on the thread
+// count — and std::merge is stable (ties take the left run first),
+// the result is exactly std::stable_sort's, at every ExecThreads()
+// setting. This is the sort behind merge-join key orders and ORDER BY.
+//
+// `less` must be a strict weak ordering and safe to invoke
+// concurrently from many threads (pure reads only). Inputs up to one
+// run — and all inputs when ExecThreads() == 1 — sort inline on the
+// caller as a plain std::stable_sort (same result, none of the
+// run/merge bookkeeping).
+template <typename T, typename Less>
+void ParallelStableSort(std::vector<T>* items, size_t run_rows,
+                        const Less& less) {
+  const size_t n = items->size();
+  if (ExecThreads() == 1 || NumBatches(n, run_rows) <= 1) {
+    std::stable_sort(items->begin(), items->end(), less);
+    return;
+  }
+  const size_t runs = NumBatches(n, run_rows);
+  ExecParallelFor(static_cast<int>(runs), [&](int b) {
+    const size_t begin = static_cast<size_t>(b) * run_rows;
+    const size_t end = std::min(n, begin + run_rows);
+    std::stable_sort(items->begin() + static_cast<ptrdiff_t>(begin),
+                     items->begin() + static_cast<ptrdiff_t>(end), less);
+  });
+  std::vector<T> buffer(n);
+  std::vector<T>* src = items;
+  std::vector<T>* dst = &buffer;
+  for (size_t width = run_rows; width < n; width *= 2) {
+    const size_t pairs = NumBatches(n, 2 * width);
+    ExecParallelFor(static_cast<int>(pairs), [&](int p) {
+      const size_t lo = static_cast<size_t>(p) * 2 * width;
+      const size_t mid = std::min(n, lo + width);
+      const size_t hi = std::min(n, lo + 2 * width);
+      std::merge(src->begin() + static_cast<ptrdiff_t>(lo),
+                 src->begin() + static_cast<ptrdiff_t>(mid),
+                 src->begin() + static_cast<ptrdiff_t>(mid),
+                 src->begin() + static_cast<ptrdiff_t>(hi),
+                 dst->begin() + static_cast<ptrdiff_t>(lo), less);
+    });
+    std::swap(src, dst);
+  }
+  if (src != items) *items = std::move(*src);
+}
 
 }  // namespace orpheus
 

@@ -43,10 +43,12 @@ class Column {
   void AppendInt(int64_t v) {
     ints_.push_back(v);
     ++size_;
+    if (!null_bitmap_.empty()) null_bitmap_.push_back(false);
   }
   void AppendArray(IntArray v) {
     arrays_.push_back(std::move(v));
     ++size_;
+    if (!null_bitmap_.empty()) null_bitmap_.push_back(false);
   }
 
   bool IsNull(size_t row) const {
@@ -89,7 +91,10 @@ class Column {
   std::vector<double> doubles_;       // kDouble
   std::vector<std::string> strings_;  // kString
   std::vector<IntArray> arrays_;      // kIntArray
-  std::vector<bool> null_bitmap_;     // empty unless a NULL was stored
+  // Invariant: empty until the first NULL is stored, exactly `size_`
+  // long afterwards — every append path must keep it in step or
+  // IsNull reads out of bounds.
+  std::vector<bool> null_bitmap_;
 };
 
 }  // namespace orpheus::rel

@@ -105,6 +105,89 @@ int64_t ChunkPages(const Chunk& chunk) {
   return chunk.ByteSize() / 8192 + 1;
 }
 
+// One probe batch's join output: parallel (left,right) row-id vectors.
+struct MatchList {
+  std::vector<uint32_t> l;
+  std::vector<uint32_t> r;
+};
+
+// Concatenates per-batch match lists in batch order. Probe batches
+// cover ascending probe-row ranges, so this reproduces the serial
+// probe loop's output order exactly — for any thread count.
+void AppendMatches(const std::vector<MatchList>& parts,
+                   std::vector<uint32_t>* lidx, std::vector<uint32_t>* ridx) {
+  size_t total = lidx->size();
+  for (const MatchList& part : parts) total += part.l.size();
+  lidx->reserve(total);
+  ridx->reserve(total);
+  for (const MatchList& part : parts) {
+    lidx->insert(lidx->end(), part.l.begin(), part.l.end());
+    ridx->insert(ridx->end(), part.r.begin(), part.r.end());
+  }
+}
+
+// Merges per-batch partial hash tables in batch order. Build batches
+// cover ascending row ranges, so appending postings batch-by-batch
+// leaves every key's posting list in ascending row order — the serial
+// build's order, independent of the thread count.
+template <typename Map>
+void MergeBuildParts(std::vector<Map>* parts, Map* hash) {
+  for (Map& part : *parts) {
+    for (auto& [key, rows] : part) {
+      auto [it, inserted] = hash->try_emplace(key, std::move(rows));
+      if (!inserted) {
+        it->second.insert(it->second.end(), rows.begin(), rows.end());
+      }
+    }
+  }
+}
+
+// Runs `build(begin, end, map*)` over [0, total) in kScanBatchRows
+// batches and merges the per-batch maps in batch order; with one
+// thread (or one batch) it builds straight into `hash` instead.
+template <typename Map, typename BuildFn>
+Status BatchedHashBuild(size_t total, bool serial, Map* hash,
+                        const BuildFn& build) {
+  const size_t nb = NumScanBatches(total);
+  if (serial || nb <= 1) {
+    build(0, total, hash);
+    return Status::OK();
+  }
+  std::vector<Map> parts(nb);
+  ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
+      total, kScanBatchRows, [&](size_t begin, size_t end, size_t b) -> Status {
+        build(begin, end, &parts[b]);
+        return Status::OK();
+      }));
+  MergeBuildParts(&parts, hash);
+  return Status::OK();
+}
+
+// Runs `probe(begin, end, MatchList*)` over [0, total) in
+// kScanBatchRows batches and concatenates the per-batch matches in
+// batch order into (lidx, ridx); serial (or single-batch) probes emit
+// into one list and move it out.
+template <typename ProbeFn>
+Status BatchedProbe(size_t total, bool serial, const ProbeFn& probe,
+                    std::vector<uint32_t>* lidx, std::vector<uint32_t>* ridx) {
+  const size_t nb = NumScanBatches(total);
+  if (serial || nb <= 1) {
+    MatchList out;
+    probe(0, total, &out);
+    *lidx = std::move(out.l);
+    *ridx = std::move(out.r);
+    return Status::OK();
+  }
+  std::vector<MatchList> parts(nb);
+  ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
+      total, kScanBatchRows, [&](size_t begin, size_t end, size_t b) -> Status {
+        probe(begin, end, &parts[b]);
+        return Status::OK();
+      }));
+  AppendMatches(parts, lidx, ridx);
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Executor::Input> Executor::ResolveTableRef(const TableRef& ref) {
@@ -261,23 +344,41 @@ Result<Executor::Input> Executor::JoinPair(
     Input left, Input right,
     const std::vector<std::pair<const Expr*, const Expr*>>& keys) {
   ExecStats* stats = db_->stats();
+  // With one thread the per-batch buffers and their batch-order merges
+  // are pure overhead, so every phase below takes its direct serial
+  // path instead. Both paths produce byte-identical output (the
+  // parallel merges reproduce serial order exactly), so this is a
+  // perf gate only — enforced by the property tests, which compare
+  // --threads=1 against --threads={2,4}.
+  const bool serial_exec = ExecThreads() == 1;
   const Chunk& lc = *left.data;
   const Chunk& rc = *right.data;
   std::vector<uint32_t> lidx;
   std::vector<uint32_t> ridx;
 
   if (keys.empty()) {
-    // Cross join; guarded against blowups.
+    // Cross join; guarded against blowups. Each output offset is a
+    // pure function of the row counts, so batches of left rows write
+    // disjoint slices of the pre-sized result directly.
     size_t total = lc.num_rows() * rc.num_rows();
     if (total > size_t{10} * 1000 * 1000) {
       return Status::InvalidArgument("cross join result too large");
     }
-    for (size_t l = 0; l < lc.num_rows(); ++l) {
-      for (size_t r = 0; r < rc.num_rows(); ++r) {
-        lidx.push_back(static_cast<uint32_t>(l));
-        ridx.push_back(static_cast<uint32_t>(r));
-      }
-    }
+    const size_t nr = rc.num_rows();
+    lidx.resize(total);
+    ridx.resize(total);
+    ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
+        lc.num_rows(), kScanBatchRows,
+        [&](size_t begin, size_t end, size_t) -> Status {
+          size_t out = begin * nr;
+          for (size_t l = begin; l < end; ++l) {
+            for (size_t r = 0; r < nr; ++r, ++out) {
+              lidx[out] = static_cast<uint32_t>(l);
+              ridx[out] = static_cast<uint32_t>(r);
+            }
+          }
+          return Status::OK();
+        }));
     stats->rows_scanned += static_cast<int64_t>(total);
   } else {
     // Resolve key columns on both sides.
@@ -319,35 +420,53 @@ Result<Executor::Input> Executor::JoinPair(
         // Build on the smaller side, probe the larger (the paper's
         // "hash table on rids, sequential scan on the data table").
         // NULL keys never participate in equi-joins.
+        //
+        // Both phases are batch-parallel: the build accumulates
+        // per-batch partial tables merged in batch order (postings
+        // stay in ascending row order — the serial build), and the
+        // probe emits per-batch match lists concatenated in batch
+        // order (the serial probe's output order). See executor.h for
+        // the determinism contract.
         bool build_right = rc.num_rows() <= lc.num_rows();
         const Column& bcol = build_right ? rc.column(rcols[0]) : lc.column(lcols[0]);
         const Column& pcol = build_right ? lc.column(lcols[0]) : rc.column(rcols[0]);
         const std::vector<int64_t>& bkeys = bcol.ints();
         const std::vector<int64_t>& pkeys = pcol.ints();
-        std::unordered_map<int64_t, std::vector<uint32_t>> hash;
+        using IntMap = std::unordered_map<int64_t, std::vector<uint32_t>>;
+        IntMap hash;
         hash.reserve(bkeys.size() * 2);
-        for (size_t i = 0; i < bkeys.size(); ++i) {
-          if (bcol.IsNull(i)) continue;
-          hash[bkeys[i]].push_back(static_cast<uint32_t>(i));
-        }
-        for (size_t i = 0; i < pkeys.size(); ++i) {
-          if (pcol.IsNull(i)) continue;
-          auto hit = hash.find(pkeys[i]);
-          if (hit == hash.end()) continue;
-          for (uint32_t m : hit->second) {
-            if (build_right) {
-              lidx.push_back(static_cast<uint32_t>(i));
-              ridx.push_back(m);
-            } else {
-              lidx.push_back(m);
-              ridx.push_back(static_cast<uint32_t>(i));
-            }
-          }
-        }
+        ORPHEUS_RETURN_NOT_OK(BatchedHashBuild(
+            bkeys.size(), serial_exec, &hash,
+            [&](size_t begin, size_t end, IntMap* out) {
+              for (size_t i = begin; i < end; ++i) {
+                if (bcol.IsNull(i)) continue;
+                (*out)[bkeys[i]].push_back(static_cast<uint32_t>(i));
+              }
+            }));
+        ORPHEUS_RETURN_NOT_OK(BatchedProbe(
+            pkeys.size(), serial_exec,
+            [&](size_t begin, size_t end, MatchList* out) {
+              for (size_t i = begin; i < end; ++i) {
+                if (pcol.IsNull(i)) continue;
+                auto hit = hash.find(pkeys[i]);
+                if (hit == hash.end()) continue;
+                for (uint32_t m : hit->second) {
+                  if (build_right) {
+                    out->l.push_back(static_cast<uint32_t>(i));
+                    out->r.push_back(m);
+                  } else {
+                    out->l.push_back(m);
+                    out->r.push_back(static_cast<uint32_t>(i));
+                  }
+                }
+              }
+            },
+            &lidx, &ridx));
       } else {
-        // Generic multi-key hash join via encoded keys.
         // Generic multi-key hash join via encoded keys; rows with any
-        // NULL key are skipped (SQL equi-join semantics).
+        // NULL key are skipped (SQL equi-join semantics). Same
+        // batch-parallel build/probe discipline as the int fast path,
+        // with string-encoded composite keys.
         auto any_null = [](const Chunk& chunk, const std::vector<int>& cols,
                            size_t row) {
           for (int col : cols) {
@@ -355,24 +474,36 @@ Result<Executor::Input> Executor::JoinPair(
           }
           return false;
         };
-        std::unordered_map<std::string, std::vector<uint32_t>> hash;
-        for (size_t r = 0; r < rc.num_rows(); ++r) {
-          if (any_null(rc, rcols, r)) continue;
-          std::string key;
-          for (int col : rcols) EncodeValue(rc.Get(r, col), &key);
-          hash[key].push_back(static_cast<uint32_t>(r));
-        }
-        for (size_t l = 0; l < lc.num_rows(); ++l) {
-          if (any_null(lc, lcols, l)) continue;
-          std::string key;
-          for (int col : lcols) EncodeValue(lc.Get(l, col), &key);
-          auto hit = hash.find(key);
-          if (hit == hash.end()) continue;
-          for (uint32_t m : hit->second) {
-            lidx.push_back(static_cast<uint32_t>(l));
-            ridx.push_back(m);
-          }
-        }
+        using StrMap = std::unordered_map<std::string, std::vector<uint32_t>>;
+        StrMap hash;
+        ORPHEUS_RETURN_NOT_OK(BatchedHashBuild(
+            rc.num_rows(), serial_exec, &hash,
+            [&](size_t begin, size_t end, StrMap* out) {
+              std::string key;
+              for (size_t r = begin; r < end; ++r) {
+                if (any_null(rc, rcols, r)) continue;
+                key.clear();
+                for (int col : rcols) EncodeValue(rc.Get(r, col), &key);
+                (*out)[key].push_back(static_cast<uint32_t>(r));
+              }
+            }));
+        ORPHEUS_RETURN_NOT_OK(BatchedProbe(
+            lc.num_rows(), serial_exec,
+            [&](size_t begin, size_t end, MatchList* out) {
+              std::string key;
+              for (size_t l = begin; l < end; ++l) {
+                if (any_null(lc, lcols, l)) continue;
+                key.clear();
+                for (int col : lcols) EncodeValue(lc.Get(l, col), &key);
+                auto hit = hash.find(key);
+                if (hit == hash.end()) continue;
+                for (uint32_t m : hit->second) {
+                  out->l.push_back(static_cast<uint32_t>(l));
+                  out->r.push_back(m);
+                }
+              }
+            },
+            &lidx, &ridx));
       }
       stats->rows_scanned +=
           static_cast<int64_t>(lc.num_rows() + rc.num_rows());
@@ -381,15 +512,29 @@ Result<Executor::Input> Executor::JoinPair(
       stats->pages_read += right.base != nullptr ? right.base->num_pages()
                                                  : ChunkPages(rc);
     } else if (method == JoinMethod::kMerge) {
-      const std::vector<int64_t>& lkeys = lc.column(lcols[0]).ints();
-      const std::vector<int64_t>& rkeys = rc.column(rcols[0]).ints();
-      auto sorted_order = [](const std::vector<int64_t>& keys, bool presorted) {
-        std::vector<uint32_t> order(keys.size());
-        std::iota(order.begin(), order.end(), 0);
+      const Column& lkcol = lc.column(lcols[0]);
+      const Column& rkcol = rc.column(rcols[0]);
+      const std::vector<int64_t>& lkeys = lkcol.ints();
+      const std::vector<int64_t>& rkeys = rkcol.ints();
+      // NULL keys never join, and their storage placeholder (0) would
+      // otherwise sort into the run of a genuine key 0 — so NULL rows
+      // are dropped from the sort order up front, not skipped in the
+      // merge scan.
+      auto sorted_order = [](const Column& col,
+                             const std::vector<int64_t>& keys,
+                             bool presorted) {
+        std::vector<uint32_t> order;
+        order.reserve(keys.size());
+        for (size_t i = 0; i < keys.size(); ++i) {
+          if (!col.IsNull(i)) order.push_back(static_cast<uint32_t>(i));
+        }
         if (!presorted) {
-          std::stable_sort(order.begin(), order.end(), [&keys](uint32_t a, uint32_t b) {
-            return keys[a] < keys[b];
-          });
+          // Deterministic parallel merge sort: bit-identical to
+          // std::stable_sort at every thread count (thread_pool.h).
+          ParallelStableSort(&order, kScanBatchRows,
+                             [&keys](uint32_t a, uint32_t b) {
+                               return keys[a] < keys[b];
+                             });
         }
         return order;
       };
@@ -399,20 +544,11 @@ Result<Executor::Input> Executor::JoinPair(
       bool r_sorted = right.base != nullptr &&
                       right.base->clustered_on() ==
                           BaseName(right.schema.column(rcols[0]).name);
-      std::vector<uint32_t> lorder = sorted_order(lkeys, l_sorted);
-      std::vector<uint32_t> rorder = sorted_order(rkeys, r_sorted);
+      std::vector<uint32_t> lorder = sorted_order(lkcol, lkeys, l_sorted);
+      std::vector<uint32_t> rorder = sorted_order(rkcol, rkeys, r_sorted);
       size_t li = 0;
       size_t ri = 0;
       while (li < lorder.size() && ri < rorder.size()) {
-        // NULL keys never match.
-        if (lc.column(lcols[0]).IsNull(lorder[li])) {
-          ++li;
-          continue;
-        }
-        if (rc.column(rcols[0]).IsNull(rorder[ri])) {
-          ++ri;
-          continue;
-        }
         int64_t lk = lkeys[lorder[li]];
         int64_t rk = rkeys[rorder[ri]];
         if (lk < rk) {
@@ -441,40 +577,91 @@ Result<Executor::Input> Executor::JoinPair(
       stats->pages_read += right.base != nullptr ? right.base->num_pages()
                                                  : ChunkPages(rc);
     } else {
-      // Index-nested-loop join.
+      // Index-nested-loop join, probe loop batched over the pool. The
+      // index is forced up front (Table::EnsureIndex, coordinating
+      // thread) so workers only probe an immutable postings map;
+      // per-batch match lists, probe counts, and page bitmaps are
+      // merged on this thread in batch order.
       const Input& outer = probe_right ? left : right;
       Table* inner_table = indexed_base;
       int outer_col = probe_right ? lcols[0] : rcols[0];
       const std::string inner_col = BaseName(
           (probe_right ? right.schema.column(rcols[0]) : left.schema.column(lcols[0]))
               .name);
-      const std::vector<int64_t>& okeys = outer.data->column(outer_col).ints();
-      std::vector<bool> page_bitmap(
-          static_cast<size_t>(inner_table->num_pages()), false);
-      for (size_t o = 0; o < okeys.size(); ++o) {
-        if (outer.data->column(outer_col).IsNull(o)) continue;
-        const std::vector<uint32_t>* matches =
-            inner_table->LookupInt(inner_col, okeys[o]);
-        ++stats->index_probes;
-        if (matches == nullptr) {
-          return Status::Internal("index lookup failed during INL join");
-        }
-        for (uint32_t m : *matches) {
-          page_bitmap[static_cast<size_t>(inner_table->PageOfRow(m))] = true;
-          if (probe_right) {
-            lidx.push_back(static_cast<uint32_t>(o));
-            ridx.push_back(m);
-          } else {
-            lidx.push_back(m);
-            ridx.push_back(static_cast<uint32_t>(o));
+      ORPHEUS_RETURN_NOT_OK(inner_table->EnsureIndex(inner_col));
+      const Table::IntIndexMap* index = inner_table->BuiltIndex(inner_col);
+      if (index == nullptr) {
+        return Status::Internal("index lookup failed during INL join");
+      }
+      const Column& ocol = outer.data->column(outer_col);
+      const std::vector<int64_t>& okeys = ocol.ints();
+      const size_t num_pages = static_cast<size_t>(inner_table->num_pages());
+      const int64_t rows_per_page = inner_table->rows_per_page();
+      // Per-batch page bitmaps feed the clustered page count below;
+      // in the scattered case that statistic is okeys.size()-based, so
+      // the bitmaps (and their per-match stores) are skipped entirely.
+      const bool count_pages = inner_table->clustered_on() == inner_col;
+      auto probe_range = [&](size_t begin, size_t end, MatchList* out,
+                             std::vector<uint8_t>* pages, int64_t* probes) {
+        for (size_t o = begin; o < end; ++o) {
+          if (ocol.IsNull(o)) continue;
+          ++*probes;
+          auto hit = index->find(okeys[o]);
+          if (hit == index->end()) continue;
+          for (uint32_t m : hit->second) {
+            if (count_pages) {
+              (*pages)[static_cast<size_t>(static_cast<int64_t>(m) /
+                                           rows_per_page)] = 1;
+            }
+            if (probe_right) {
+              out->l.push_back(static_cast<uint32_t>(o));
+              out->r.push_back(m);
+            } else {
+              out->l.push_back(m);
+              out->r.push_back(static_cast<uint32_t>(o));
+            }
           }
         }
+      };
+      const size_t nb = NumScanBatches(okeys.size());
+      std::vector<MatchList> parts;
+      std::vector<int64_t> batch_probes;
+      std::vector<std::vector<uint8_t>> batch_pages;
+      const size_t bitmap_size = count_pages ? num_pages : 0;
+      if (serial_exec || nb <= 1) {
+        parts.resize(1);
+        batch_probes.assign(1, 0);
+        batch_pages.assign(1, std::vector<uint8_t>(bitmap_size, 0));
+        probe_range(0, okeys.size(), &parts[0], &batch_pages[0],
+                    &batch_probes[0]);
+      } else {
+        parts.resize(nb);
+        batch_probes.assign(nb, 0);
+        batch_pages.resize(nb);
+        ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
+            okeys.size(), kScanBatchRows,
+            [&](size_t begin, size_t end, size_t b) -> Status {
+              batch_pages[b].assign(bitmap_size, 0);
+              probe_range(begin, end, &parts[b], &batch_pages[b],
+                          &batch_probes[b]);
+              return Status::OK();
+            }));
       }
+      AppendMatches(parts, &lidx, &ridx);
+      for (int64_t probes : batch_probes) stats->index_probes += probes;
       stats->rows_scanned += static_cast<int64_t>(okeys.size());
       int64_t pages_touched = 0;
-      if (inner_table->clustered_on() == inner_col) {
-        // Matches land on contiguous pages: count distinct pages.
-        for (bool touched : page_bitmap) pages_touched += touched ? 1 : 0;
+      if (count_pages) {
+        // Matches land on contiguous pages: count distinct pages
+        // touched by any batch.
+        for (size_t page = 0; page < num_pages; ++page) {
+          for (const std::vector<uint8_t>& pages : batch_pages) {
+            if (pages[page] != 0) {
+              ++pages_touched;
+              break;
+            }
+          }
+        }
       } else {
         // Scattered rows: effectively one random page per probe, but
         // never more than the whole table.
@@ -486,6 +673,9 @@ Result<Executor::Input> Executor::JoinPair(
   }
 
   // Materialize the combined chunk: left columns then right columns.
+  // Output columns are disjoint objects, so their gathers fan out
+  // across the pool (one task per column; a gather's content depends
+  // only on its source column and the match vectors).
   Schema combined;
   for (const ColumnDef& def : left.schema.columns()) {
     combined.AddColumn(def.name, def.type);
@@ -494,12 +684,14 @@ Result<Executor::Input> Executor::JoinPair(
     combined.AddColumn(def.name, def.type);
   }
   auto out = std::make_unique<Chunk>(combined);
-  for (int c = 0; c < lc.num_columns(); ++c) {
-    out->mutable_column(c).Gather(lc.column(c), lidx);
-  }
-  for (int c = 0; c < rc.num_columns(); ++c) {
-    out->mutable_column(lc.num_columns() + c).Gather(rc.column(c), ridx);
-  }
+  const int num_left_cols = lc.num_columns();
+  ExecParallelFor(num_left_cols + rc.num_columns(), [&](int c) {
+    if (c < num_left_cols) {
+      out->mutable_column(c).Gather(lc.column(c), lidx);
+    } else {
+      out->mutable_column(c).Gather(rc.column(c - num_left_cols), ridx);
+    }
+  });
   Input result;
   result.schema = out->schema();
   result.owned = std::move(out);
@@ -590,18 +782,27 @@ Result<Chunk> Executor::RunSelect(const SelectStmt& select) {
         for (const OrderItem& item : select.order_by) {
           ORPHEUS_RETURN_NOT_OK(eval.Bind(item.expr.get(), joined.schema));
         }
+        // Sort keys are computed batch-parallel into slot-per-row
+        // buffers, then the permutation is sorted with the
+        // deterministic parallel merge sort (thread_pool.h) — same
+        // result as a serial stable_sort at every thread count.
         std::vector<std::vector<Value>> keys(sel.size());
-        for (size_t i = 0; i < sel.size(); ++i) {
-          keys[i].reserve(select.order_by.size());
-          for (const OrderItem& item : select.order_by) {
-            auto v = eval.Eval(*item.expr, data, sel[i]);
-            if (!v.ok()) return v.status();
-            keys[i].push_back(std::move(v).value());
-          }
-        }
+        ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
+            sel.size(), kScanBatchRows,
+            [&](size_t begin, size_t end, size_t) -> Status {
+              for (size_t i = begin; i < end; ++i) {
+                keys[i].reserve(select.order_by.size());
+                for (const OrderItem& item : select.order_by) {
+                  ORPHEUS_ASSIGN_OR_RETURN(Value v,
+                                           eval.Eval(*item.expr, data, sel[i]));
+                  keys[i].push_back(std::move(v));
+                }
+              }
+              return Status::OK();
+            }));
         std::vector<uint32_t> perm(sel.size());
         std::iota(perm.begin(), perm.end(), 0);
-        std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+        ParallelStableSort(&perm, kScanBatchRows, [&](uint32_t a, uint32_t b) {
           for (size_t k = 0; k < select.order_by.size(); ++k) {
             int cmp = keys[a][k].Compare(keys[b][k]);
             if (select.order_by[k].descending) cmp = -cmp;
@@ -1050,19 +1251,24 @@ Status Executor::ApplyOrderByLimit(const SelectStmt& select, Chunk* out) {
     for (const OrderItem& item : select.order_by) {
       ORPHEUS_RETURN_NOT_OK(eval.Bind(item.expr.get(), out->schema()));
     }
-    // Precompute sort keys.
+    // Precompute sort keys batch-parallel, then sort the permutation
+    // with the deterministic parallel merge sort (thread_pool.h).
     std::vector<std::vector<Value>> keys(out->num_rows());
-    for (size_t row = 0; row < out->num_rows(); ++row) {
-      keys[row].reserve(select.order_by.size());
-      for (const OrderItem& item : select.order_by) {
-        auto v = eval.Eval(*item.expr, *out, row);
-        if (!v.ok()) return v.status();
-        keys[row].push_back(std::move(v).value());
-      }
-    }
+    ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
+        out->num_rows(), kScanBatchRows,
+        [&](size_t begin, size_t end, size_t) -> Status {
+          for (size_t row = begin; row < end; ++row) {
+            keys[row].reserve(select.order_by.size());
+            for (const OrderItem& item : select.order_by) {
+              ORPHEUS_ASSIGN_OR_RETURN(Value v, eval.Eval(*item.expr, *out, row));
+              keys[row].push_back(std::move(v));
+            }
+          }
+          return Status::OK();
+        }));
     std::vector<uint32_t> order(out->num_rows());
     std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    ParallelStableSort(&order, kScanBatchRows, [&](uint32_t a, uint32_t b) {
       for (size_t k = 0; k < select.order_by.size(); ++k) {
         int cmp = keys[a][k].Compare(keys[b][k]);
         if (select.order_by[k].descending) cmp = -cmp;

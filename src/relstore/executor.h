@@ -6,20 +6,26 @@
 //   -> aggregation or projection (incl. unnest expansion) -> DISTINCT
 //   -> ORDER BY -> LIMIT.
 //
-// Parallel batched scans. Filter evaluation, aggregation, and computed
-// projections operate on fixed-size row batches (kScanBatchRows) that
-// are scheduled across the shared execution pool (common/thread_pool.h,
-// the --threads knob). Batch boundaries depend only on the data, never
-// on the thread count, and per-batch partial results are merged on the
-// calling thread in batch order — so results are bit-identical for
-// every --threads setting, including the floating-point aggregates.
-// With --threads=1 batches run serially in order on the caller.
+// Parallel batched execution. Filter evaluation, computed projections,
+// aggregation, hash-join build and probe, the index-nested-loop probe
+// loop, merge-join key sorts, and ORDER BY all operate on fixed-size
+// row batches (kScanBatchRows) scheduled across the shared execution
+// pool (common/thread_pool.h, the --threads knob). Batch boundaries
+// depend only on the data, never on the thread count, and per-batch
+// partial results (selection vectors, aggregate states, hash-table
+// partials, join match lists) are merged on the calling thread in
+// batch order; sorts use the deterministic parallel merge sort
+// (ParallelStableSort), whose run/merge tree is likewise fixed by the
+// input size alone. So results are bit-identical for every --threads
+// setting, including the floating-point aggregates. With --threads=1
+// batches run serially in order on the caller.
 // Note the invariant is thread-count independence, not equality with
 // the pre-batching code: inputs up to one batch (most unit tests) are
 // processed exactly as before, but a float SUM/AVG over several
 // batches accumulates per-batch partial sums, whose last-bit rounding
 // can differ from the old row-sequential accumulation — identically
 // at every thread setting.
+// docs/QUERY_ENGINE.md spells the contract out in full.
 //
 // Thread-safety and ownership contracts:
 //  - Executor is a thin stateless facade over Database*; it does not
@@ -29,6 +35,9 @@
 //    Intra-query parallelism is internal and invisible to callers.
 //  - Worker threads only ever read the input chunks and write to
 //    batch-private buffers; all merging happens on the calling thread.
+//  - Table indexes probed by INL workers are forced up front on the
+//    calling thread (Table::EnsureIndex), after which workers read the
+//    immutable postings map via Table::BuiltIndex.
 //
 // The executor also charges a simple page-I/O model per operator (see
 // table.h) so experiments can report modeled I/O next to wall time.
@@ -119,6 +128,12 @@ class Executor {
   Result<Input> JoinInputs(std::vector<Input> inputs,
                            std::vector<const Expr*>* conjuncts);
 
+  // Joins two inputs on the given equi-key pairs with the configured
+  // JoinMethod (falling back to hash when the method's preconditions
+  // don't hold — see docs/QUERY_ENGINE.md). Build, probe, key sorts,
+  // and the output materialization run batch-parallel on the pool;
+  // per-batch match lists are concatenated in batch order so the
+  // output row order matches the serial algorithms exactly.
   Result<Input> JoinPair(Input left, Input right,
                          const std::vector<std::pair<const Expr*, const Expr*>>& keys);
 
@@ -133,6 +148,8 @@ class Executor {
 
   Status ApplyHaving(const SelectStmt& select, Chunk* out);
   Status ApplyDistinct(Chunk* out);
+  // ORDER BY keys are evaluated batch-parallel and the row permutation
+  // is sorted with the deterministic parallel merge sort.
   Status ApplyOrderByLimit(const SelectStmt& select, Chunk* out);
 
   Database* db_;

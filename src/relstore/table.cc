@@ -82,6 +82,12 @@ const std::vector<uint32_t>* Table::LookupInt(const std::string& column, int64_t
   return &hit->second;
 }
 
+const Table::IntIndexMap* Table::BuiltIndex(const std::string& column) const {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end() || !it->second.built) return nullptr;
+  return &it->second.map;
+}
+
 Status Table::EnsureIndex(const std::string& column) {
   auto it = indexes_.find(column);
   if (it == indexes_.end()) {

@@ -11,6 +11,14 @@
 // Index maintenance is lazy: DML invalidates, the next lookup rebuilds.
 // This matches the access pattern of OrpheusDB (bulk commit, then many
 // checkouts).
+//
+// Thread-safety: Table is not internally synchronized. The engine's
+// discipline is single-writer: all DML/DDL and index (re)builds happen
+// on a statement's coordinating thread. Scan workers only ever read —
+// chunk()/data(), and index postings via BuiltIndex after the
+// coordinator ran EnsureIndex (see the member comments). Anything
+// non-const (mutable_chunk, LookupInt's lazy rebuild, ClusterBy)
+// belongs to the coordinator exclusively.
 
 #ifndef ORPHEUS_RELSTORE_TABLE_H_
 #define ORPHEUS_RELSTORE_TABLE_H_
@@ -65,12 +73,25 @@ class Table {
   // safe to call from scan workers directly. Call EnsureIndex first
   // (on the coordinating thread); after it succeeds, LookupInt is a
   // pure read and may be called concurrently until the next DML.
+  // Batched probe loops should prefer BuiltIndex, which resolves the
+  // column name once and hands workers a plain const map.
   const std::vector<uint32_t>* LookupInt(const std::string& column, int64_t key);
 
   // Forces the (declared) index on `column` to be built now, so that
-  // subsequent LookupInt calls are read-only. Errors if no index was
-  // declared on `column`.
+  // subsequent LookupInt/BuiltIndex calls are read-only. Errors if no
+  // index was declared on `column`.
   Status EnsureIndex(const std::string& column);
+
+  // Postings of a built index: key -> row positions in insertion
+  // (ascending) order. Returns nullptr unless a preceding
+  // EnsureIndex(column) succeeded and no DML has run since.
+  //
+  // Concurrency: the returned map is immutable until the next DML /
+  // InvalidateIndexes, so workers may probe it freely while the
+  // coordinating thread holds the table alive (the executor's INL
+  // probe batches do exactly this).
+  using IntIndexMap = std::unordered_map<int64_t, std::vector<uint32_t>>;
+  const IntIndexMap* BuiltIndex(const std::string& column) const;
 
   void InvalidateIndexes();
 
@@ -96,7 +117,7 @@ class Table {
  private:
   struct IntIndex {
     bool built = false;
-    std::unordered_map<int64_t, std::vector<uint32_t>> map;
+    IntIndexMap map;
   };
 
   Status BuildIndex(const std::string& column, IntIndex* index);

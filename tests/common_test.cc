@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <set>
@@ -241,6 +242,43 @@ TEST(ExecThreadsTest, ParallelBatchForReportsFirstErrorInBatchOrder) {
               }).ok());
   EXPECT_EQ(calls, 0);
   SetExecThreads(0);
+}
+
+TEST(ExecThreadsTest, ParallelStableSortMatchesStdStableSort) {
+  // Heavy key duplication makes stability observable (equal keys must
+  // keep their original relative order). A tiny run length forces many
+  // runs and several merge rounds; the result must equal a serial
+  // std::stable_sort bit-for-bit at every thread setting.
+  Rng rng(20260729);
+  std::vector<int64_t> keys(10000);
+  for (int64_t& k : keys) k = static_cast<int64_t>(rng.Uniform(50));
+  auto by_key = [&keys](uint32_t a, uint32_t b) { return keys[a] < keys[b]; };
+  std::vector<uint32_t> expect(keys.size());
+  std::iota(expect.begin(), expect.end(), 0);
+  std::stable_sort(expect.begin(), expect.end(), by_key);
+  for (int threads : {1, 2, 4, 8}) {
+    SetExecThreads(threads);
+    std::vector<uint32_t> order(keys.size());
+    std::iota(order.begin(), order.end(), 0);
+    ParallelStableSort(&order, 256, by_key);
+    ASSERT_EQ(order, expect) << "threads " << threads;
+  }
+  SetExecThreads(0);
+}
+
+TEST(ExecThreadsTest, ParallelStableSortEdgeSizes) {
+  // Empty, single-run (inline path), and run-boundary-straddling sizes.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{255}, size_t{256},
+                   size_t{257}, size_t{513}}) {
+    std::vector<uint32_t> items(n);
+    for (size_t i = 0; i < n; ++i) {
+      items[i] = static_cast<uint32_t>((n - i) % 7);
+    }
+    std::vector<uint32_t> expect = items;
+    std::stable_sort(expect.begin(), expect.end());
+    ParallelStableSort(&items, 256, std::less<uint32_t>());
+    ASSERT_EQ(items, expect) << "n " << n;
+  }
 }
 
 TEST(ExecThreadsTest, ExecParallelForCoversRangeAtAnySetting) {

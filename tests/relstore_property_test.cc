@@ -40,6 +40,37 @@ void BuildRandomTable(Database* db, const std::string& name, int n, int buckets,
   }
 }
 
+// Exact binary equality for result cells: doubles must match
+// bit-for-bit, not just numerically (the parallel executor's
+// determinism contract).
+bool BitsEqual(const Value& a, const Value& b) {
+  if (a.is_null() != b.is_null()) return false;
+  if (a.is_null()) return true;
+  if (a.type() != b.type()) return false;
+  if (a.type() == DataType::kDouble) {
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    return std::memcmp(&x, &y, sizeof(x)) == 0;
+  }
+  return a.Equals(b);
+}
+
+// Asserts two result chunks are bit-identical: same shape, same row
+// order, same bits in every cell.
+void ExpectChunksBitIdentical(const Chunk& expect, const Chunk& actual,
+                              const std::string& context) {
+  ASSERT_EQ(expect.num_rows(), actual.num_rows()) << context;
+  ASSERT_EQ(expect.num_columns(), actual.num_columns()) << context;
+  for (size_t r = 0; r < expect.num_rows(); ++r) {
+    for (int c = 0; c < expect.num_columns(); ++c) {
+      ASSERT_TRUE(BitsEqual(expect.Get(r, c), actual.Get(r, c)))
+          << context << " row " << r << " col " << c << ": "
+          << expect.Get(r, c).ToString() << " vs "
+          << actual.Get(r, c).ToString();
+    }
+  }
+}
+
 class RandomFilterTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomFilterTest, FilterMatchesReference) {
@@ -164,18 +195,6 @@ TEST_P(RandomFilterTest, ParallelExecutionBitIdenticalToSerial) {
       "SELECT id FROM t WHERE bucket < 9 ORDER BY val DESC LIMIT 500",
   };
 
-  auto bits_equal = [](const Value& a, const Value& b) {
-    if (a.is_null() != b.is_null()) return false;
-    if (a.is_null()) return true;
-    if (a.type() != b.type()) return false;
-    if (a.type() == DataType::kDouble) {
-      double x = a.AsDouble();
-      double y = b.AsDouble();
-      return std::memcmp(&x, &y, sizeof(x)) == 0;
-    }
-    return a.Equals(b);
-  };
-
   // 10k rows = several kScanBatchRows batches.
   Rng rng(GetParam() + 4000);
   Database db;
@@ -189,24 +208,162 @@ TEST_P(RandomFilterTest, ParallelExecutionBitIdenticalToSerial) {
       SetExecThreads(threads);
       auto parallel = db.Execute(query);
       ASSERT_TRUE(parallel.ok()) << query;
-      const Chunk& s = serial.value();
-      const Chunk& p = parallel.value();
-      ASSERT_EQ(s.num_rows(), p.num_rows()) << query << " threads " << threads;
-      ASSERT_EQ(s.num_columns(), p.num_columns()) << query;
-      for (size_t r = 0; r < s.num_rows(); ++r) {
-        for (int c = 0; c < s.num_columns(); ++c) {
-          ASSERT_TRUE(bits_equal(s.Get(r, c), p.Get(r, c)))
-              << query << " threads " << threads << " row " << r << " col "
-              << c << ": " << s.Get(r, c).ToString() << " vs "
-              << p.Get(r, c).ToString();
-        }
+      ExpectChunksBitIdentical(serial.value(), parallel.value(),
+                               query + " threads " + std::to_string(threads));
+    }
+  }
+}
+
+// Parallel join/sort regression (ISSUE 3): all three join methods and
+// both ORDER BY paths must be BIT-identical across --threads — same
+// rows, same order, same double bits — including NULL-key rows (which
+// never join) and keys whose match runs straddle kScanBatchRows batch
+// boundaries.
+TEST_P(RandomFilterTest, JoinAndOrderByBitIdenticalAcrossThreads) {
+  struct ExecThreadsRestorer {
+    ~ExecThreadsRestorer() { SetExecThreads(0); }
+  } restore_threads;
+
+  Rng rng(GetParam() + 5000);
+  Database db;
+  // Both sides span multiple kScanBatchRows (2048) batches. ~5% of
+  // join keys are NULL; every tenth row shares the hot key 7, so its
+  // posting list and probe hits straddle every batch boundary; every
+  // eleventh row has key 0, the value NULLs share as their storage
+  // placeholder.
+  auto build = [&](const std::string& name, int n) {
+    ASSERT_TRUE(db.Execute("CREATE TABLE " + name +
+                           " (id INT, k INT, k2 INT, val DOUBLE)")
+                    .ok());
+    auto table = db.GetTable(name);
+    ASSERT_TRUE(table.ok());
+    Chunk& chunk = table.value()->mutable_chunk();
+    for (int i = 0; i < n; ++i) {
+      chunk.mutable_column(0).AppendInt(i);
+      if (rng.Uniform(20) == 0) {
+        chunk.mutable_column(1).Append(Value::Null());
+      } else if (i % 10 == 0) {
+        chunk.mutable_column(1).AppendInt(7);
+      } else if (i % 11 == 0) {
+        chunk.mutable_column(1).AppendInt(0);
+      } else {
+        chunk.mutable_column(1).AppendInt(static_cast<int64_t>(rng.Uniform(300)));
       }
+      chunk.mutable_column(2).AppendInt(static_cast<int64_t>(rng.Uniform(3)));
+      chunk.mutable_column(3).Append(Value::Double(rng.NextDouble() * 100));
+    }
+  };
+  build("lt", 5000);
+  build("rt", 4100);
+  // A declared index on rt.k gives index-nested-loop a real index to
+  // probe (without one it silently falls back to hash).
+  ASSERT_TRUE(db.GetTable("rt").value()->DeclareIndex("k").ok());
+
+  const std::string join_query =
+      "SELECT l.id, l.k, r.id, r.val FROM lt l, rt r WHERE l.k = r.k";
+  const std::string multikey_join_query =
+      "SELECT l.id, r.id FROM lt l, rt r WHERE l.k = r.k AND l.k2 = r.k2";
+  for (JoinMethod method :
+       {JoinMethod::kHash, JoinMethod::kMerge, JoinMethod::kIndexNestedLoop}) {
+    db.set_join_method(method);
+    const std::string tag = "method " + std::to_string(static_cast<int>(method));
+    for (const std::string& query : {join_query, multikey_join_query}) {
+      SetExecThreads(1);
+      auto serial = db.Execute(query);
+      ASSERT_TRUE(serial.ok()) << tag << ": " << serial.status().ToString();
+      ASSERT_GT(serial.value().num_rows(), kScanBatchRows)
+          << tag << ": join output too small to cross batch boundaries";
+      for (int threads : {2, 4}) {
+        SetExecThreads(threads);
+        auto parallel = db.Execute(query);
+        ASSERT_TRUE(parallel.ok()) << tag;
+        ExpectChunksBitIdentical(
+            serial.value(), parallel.value(),
+            tag + " threads " + std::to_string(threads) + " " + query);
+      }
+    }
+  }
+  // The single-key query under INL must actually have probed the
+  // index, not fallen back to hash.
+  db.ResetStats();
+  db.set_join_method(JoinMethod::kIndexNestedLoop);
+  ASSERT_TRUE(db.Execute(join_query).ok());
+  EXPECT_GT(db.stats()->index_probes, 0) << "INL fell back to hash";
+
+  // With NULL keys present alongside the genuine key 0 (whose storage
+  // placeholder NULLs share), the three methods must agree with each
+  // other too, not just with their own serial runs.
+  std::vector<Value> first_agg;
+  for (JoinMethod method :
+       {JoinMethod::kHash, JoinMethod::kMerge, JoinMethod::kIndexNestedLoop}) {
+    db.set_join_method(method);
+    auto agg = db.Execute(
+        "SELECT count(*), sum(l.id), sum(r.id) FROM lt l, rt r "
+        "WHERE l.k = r.k");
+    ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+    std::vector<Value> row = {agg.value().Get(0, 0), agg.value().Get(0, 1),
+                              agg.value().Get(0, 2)};
+    if (first_agg.empty()) {
+      first_agg = std::move(row);
+    } else {
+      for (size_t c = 0; c < first_agg.size(); ++c) {
+        EXPECT_TRUE(first_agg[c].Equals(row[c]))
+            << "method " << static_cast<int>(method) << " column " << c;
+      }
+    }
+  }
+
+  db.set_join_method(JoinMethod::kHash);
+  const std::vector<std::string> order_queries = {
+      // Pre-projection sort (keys resolve against the scan input),
+      // multi-key with DESC and NULL keys.
+      "SELECT id, k, val FROM lt ORDER BY k DESC, val",
+      // Post-aggregation sort (ApplyOrderByLimit) over enough groups
+      // to cross batch boundaries.
+      "SELECT id, sum(val) AS s FROM lt GROUP BY id ORDER BY s DESC",
+      // Join feeding an ORDER BY on a computed float expression.
+      "SELECT l.id, r.id, l.val + r.val AS w FROM lt l, rt r "
+      "WHERE l.k = r.k AND l.k2 = 1 ORDER BY l.val + r.val DESC LIMIT 3000",
+  };
+  for (const std::string& query : order_queries) {
+    SetExecThreads(1);
+    auto serial = db.Execute(query);
+    ASSERT_TRUE(serial.ok()) << query << " -> " << serial.status().ToString();
+    for (int threads : {2, 4}) {
+      SetExecThreads(threads);
+      auto parallel = db.Execute(query);
+      ASSERT_TRUE(parallel.ok()) << query;
+      ExpectChunksBitIdentical(serial.value(), parallel.value(),
+                               query + " threads " + std::to_string(threads));
     }
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomFilterTest,
                          ::testing::Values(1, 7, 42, 1234, 99999));
+
+// Regression: NULL keys are stored as the placeholder 0 in the int
+// column, so the merge join's sorted order used to slot them into a
+// genuine key-0 run and emit them as matches. All methods must agree
+// that NULL joins nothing, even against key 0.
+TEST(JoinNullKeys, NullNeverMatchesKeyZeroInAnyMethod) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE lt0 (id INT, k INT)").ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE rt0 (id INT, k INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO lt0 VALUES (1, 0), (2, NULL)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO rt0 VALUES (10, 0), (11, NULL)").ok());
+  ASSERT_TRUE(db.GetTable("rt0").value()->DeclareIndex("k").ok());
+  for (JoinMethod method :
+       {JoinMethod::kHash, JoinMethod::kMerge, JoinMethod::kIndexNestedLoop}) {
+    db.set_join_method(method);
+    auto r = db.Execute(
+        "SELECT count(*) FROM lt0 l, rt0 r WHERE l.k = r.k");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().Get(0, 0).AsInt(), 1)
+        << "method " << static_cast<int>(method)
+        << ": only (1, 10) joins; NULLs must not match key 0";
+  }
+}
 
 // --- Schema evolution primitives ---------------------------------------
 

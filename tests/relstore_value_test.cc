@@ -78,6 +78,29 @@ TEST(ColumnTest, NullBitmapOnlyWhenNeeded) {
   EXPECT_TRUE(col.Get(1).is_null());
 }
 
+TEST(ColumnTest, FastAppendsAfterNullKeepBitmapInStep) {
+  // Regression: once a NULL forced the bitmap into existence, the
+  // unboxed appenders must extend it too, or IsNull on later rows
+  // reads past the bitmap's end.
+  Column col(DataType::kInt64);
+  col.AppendInt(1);
+  col.Append(Value::Null());
+  col.AppendInt(3);
+  col.AppendInt(4);
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  EXPECT_FALSE(col.IsNull(3));
+
+  Column arr(DataType::kIntArray);
+  arr.Append(Value::Null());
+  arr.AppendArray({1, 2});
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_TRUE(arr.IsNull(0));
+  EXPECT_FALSE(arr.IsNull(1));
+}
+
 TEST(ColumnTest, GatherPreservesNulls) {
   Column src(DataType::kString);
   src.Append(Value::String("a"));
