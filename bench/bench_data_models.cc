@@ -68,47 +68,124 @@ Result<ModelNumbers> MeasureModel(DataModelKind kind, const wl::Dataset& data) {
   return out;
 }
 
-// The §3.2 in-text experiment: commit with 30% of records modified.
-Result<std::pair<double, double>> MeasureModifiedCommit(const wl::Dataset& data) {
-  double times[2] = {0, 0};
-  DataModelKind kinds[2] = {DataModelKind::kDeltaBased,
-                            DataModelKind::kSplitByRlist};
-  for (int m = 0; m < 2; ++m) {
-    rel::Database db;
-    auto model = core::MakeDataModel(kinds[m], &db, "m", data.DataSchema());
-    ORPHEUS_RETURN_NOT_OK(PopulateModel(&db, model.get(), data));
-    const wl::VersionSpec& latest = data.versions().back();
-    ORPHEUS_RETURN_NOT_OK(model->CheckoutVersion(latest.vid, "work"));
+struct RoundTrip {
+  double checkout_seconds = 0;
+  double commit_seconds = 0;
+};
 
-    // Modify 30% of the rows: give them fresh rids and contents (this
-    // is what the record manager would produce for modified rows).
-    std::vector<core::RecordId> rids = latest.rids;
-    Rng rng(99);
-    std::vector<uint32_t> modified_rows;
-    core::RecordId next_rid = data.num_records();
-    for (size_t i = 0; i < rids.size(); ++i) {
-      if (rng.Bernoulli(0.3)) {
-        rids[i] = next_rid++;
-        modified_rows.push_back(static_cast<uint32_t>(i));
-      }
-    }
-    // Update the staged table's rid column accordingly and register
-    // the new rows chunk.
-    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * staged, db.GetTable("work"));
-    rel::Chunk& chunk = staged->mutable_chunk();
-    for (size_t i = 0; i < rids.size(); ++i) {
-      chunk.mutable_column(0).Set(i, rel::Value::Int(rids[i]));
-    }
-    rel::Chunk new_records(chunk.schema());
-    new_records.GatherFrom(chunk, modified_rows);
+// One full checkout+commit round-trip: check out the latest version,
+// modify `modified_fraction` of its rows (fresh rids and contents —
+// what the record manager produces for modified rows), and commit the
+// result back. The §3.2 in-text experiment is this at 0.3.
+Result<RoundTrip> MeasureRoundTrip(DataModelKind kind, const wl::Dataset& data,
+                                   double modified_fraction) {
+  rel::Database db;
+  auto model = core::MakeDataModel(kind, &db, "m", data.DataSchema());
+  ORPHEUS_RETURN_NOT_OK(PopulateModel(&db, model.get(), data));
+  const wl::VersionSpec& latest = data.versions().back();
+  RoundTrip out;
+  WallTimer checkout_timer;
+  ORPHEUS_RETURN_NOT_OK(model->CheckoutVersion(latest.vid, "work"));
+  out.checkout_seconds = checkout_timer.ElapsedSeconds();
 
-    core::VersionId next = static_cast<core::VersionId>(data.versions().size()) + 1;
+  std::vector<core::RecordId> rids = latest.rids;
+  Rng rng(99);
+  std::vector<uint32_t> modified_rows;
+  core::RecordId next_rid = data.num_records();
+  for (size_t i = 0; i < rids.size(); ++i) {
+    if (rng.Bernoulli(modified_fraction)) {
+      rids[i] = next_rid++;
+      modified_rows.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  // Update the staged table's rid column accordingly and register
+  // the new rows chunk.
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Table * staged, db.GetTable("work"));
+  rel::Chunk& chunk = staged->mutable_chunk();
+  for (size_t i = 0; i < rids.size(); ++i) {
+    chunk.mutable_column(0).Set(i, rel::Value::Int(rids[i]));
+  }
+  rel::Chunk new_records(chunk.schema());
+  new_records.GatherFrom(chunk, modified_rows);
+
+  core::VersionId next = static_cast<core::VersionId>(data.versions().size()) + 1;
+  WallTimer timer;
+  ORPHEUS_RETURN_NOT_OK(
+      model->AddVersion(next, "work", rids, new_records, latest.vid));
+  out.commit_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+// The delta model's structural weakness: checkout cost grows with
+// lineage depth, and the fix — compacting a deep version into a fresh
+// base delta — costs a full materialization plus duplicated storage.
+// This measures all three sides of that trade.
+struct DeltaCompaction {
+  int depth = 0;                   // lineage length of the deepest version
+  double deep_checkout_seconds = 0;
+  double root_checkout_seconds = 0;
+  double compact_seconds = 0;      // materialize + re-add as fresh base
+  double compacted_checkout_seconds = 0;
+  int64_t storage_before = 0;
+  int64_t storage_after = 0;
+};
+
+Result<DeltaCompaction> MeasureDeltaCompaction(const wl::Dataset& data) {
+  rel::Database db;
+  auto model = core::MakeDataModel(DataModelKind::kDeltaBased, &db, "m",
+                                   data.DataSchema());
+  ORPHEUS_RETURN_NOT_OK(PopulateModel(&db, model.get(), data));
+
+  // Recompute each version's delta-lineage depth (base = max-weight
+  // parent, the same rule PopulateModel applied).
+  std::map<core::VersionId, int> depth;
+  core::VersionId deepest = data.versions().front().vid;
+  for (const wl::VersionSpec& v : data.versions()) {
+    if (v.parents.empty()) {
+      depth[v.vid] = 1;
+      continue;
+    }
+    size_t best = 0;
+    for (size_t p = 1; p < v.parents.size(); ++p) {
+      if (v.parent_weights[p] > v.parent_weights[best]) best = p;
+    }
+    depth[v.vid] = depth[v.parents[best]] + 1;
+    if (depth[v.vid] > depth[deepest]) deepest = v.vid;
+  }
+
+  DeltaCompaction out;
+  out.depth = depth[deepest];
+  out.storage_before = model->StorageBytes();
+  {
+    WallTimer timer;
+    ORPHEUS_RETURN_NOT_OK(model->CheckoutVersion(deepest, "deep"));
+    out.deep_checkout_seconds = timer.ElapsedSeconds();
+  }
+  {
     WallTimer timer;
     ORPHEUS_RETURN_NOT_OK(
-        model->AddVersion(next, "work", rids, new_records, latest.vid));
-    times[m] = timer.ElapsedSeconds();
+        model->CheckoutVersion(data.versions().front().vid, "root"));
+    out.root_checkout_seconds = timer.ElapsedSeconds();
   }
-  return std::make_pair(times[0], times[1]);
+  // Compaction: re-register the materialized deep version as a fresh
+  // base (primary_parent = -1), collapsing its lineage to depth 1.
+  ORPHEUS_ASSIGN_OR_RETURN(std::vector<core::RecordId> deep_rids,
+                           model->VersionRecords(deepest));
+  core::VersionId compacted =
+      static_cast<core::VersionId>(data.versions().size()) + 1;
+  {
+    WallTimer timer;
+    ORPHEUS_RETURN_NOT_OK(model->AddVersion(compacted, "deep", deep_rids,
+                                            rel::Chunk(), /*primary_parent=*/-1));
+    out.compact_seconds = timer.ElapsedSeconds();
+  }
+  out.storage_after = model->StorageBytes();
+  {
+    WallTimer timer;
+    ORPHEUS_RETURN_NOT_OK(model->CheckoutVersion(compacted, "compacted"));
+    out.compacted_checkout_seconds = timer.ElapsedSeconds();
+  }
+  return out;
 }
 
 }  // namespace
@@ -148,16 +225,66 @@ int main(int argc, char** argv) {
 
   std::cout << "=== §3.2 in-text: commit with 30% modified records ===\n";
   wl::Dataset medium = wl::Generate(Scaled(MediumSpec(wl::WorkloadKind::kSci), scale));
-  auto modified = MeasureModifiedCommit(medium);
-  if (!modified.ok()) {
-    std::cerr << "error: " << modified.status().ToString() << "\n";
+  {
+    TablePrinter table({"Model", "Commit (30% modified)"});
+    for (DataModelKind kind :
+         {DataModelKind::kDeltaBased, DataModelKind::kSplitByRlist}) {
+      auto r = MeasureRoundTrip(kind, medium, 0.3);
+      if (!r.ok()) {
+        std::cerr << "error: " << r.status().ToString() << "\n";
+        return 1;
+      }
+      table.AddRow({core::DataModelKindName(kind),
+                    FormatSeconds(r.value().commit_seconds)});
+    }
+    table.Print();
+    std::cout << "\nPaper: delta 8.16s vs rlist 4.12s at 250K records — delta"
+                 " should be slower here too.\n";
+  }
+
+  // Full checkout + 30%-modified commit round-trips, all five models,
+  // at LargeSpec scale (ROADMAP item).
+  std::cout << "\n=== Checkout+commit round-trip, all models, LargeSpec ===\n";
+  wl::Dataset large = wl::Generate(Scaled(LargeSpec(wl::WorkloadKind::kSci), scale));
+  std::cout << "(|V|=" << large.versions().size()
+            << ", |R|=" << WithThousandsSep(large.num_records()) << ")\n";
+  {
+    TablePrinter table({"Model", "Checkout", "Commit (30% modified)"});
+    for (DataModelKind kind : kModels) {
+      auto r = MeasureRoundTrip(kind, large, 0.3);
+      if (!r.ok()) {
+        std::cerr << "error: " << r.status().ToString() << "\n";
+        return 1;
+      }
+      table.AddRow({core::DataModelKindName(kind),
+                    FormatSeconds(r.value().checkout_seconds),
+                    FormatSeconds(r.value().commit_seconds)});
+    }
+    table.Print();
+  }
+
+  // The delta model's compaction trade-off at LargeSpec scale.
+  std::cout << "\n=== Delta-based model: lineage depth and compaction cost ===\n";
+  auto compaction = MeasureDeltaCompaction(large);
+  if (!compaction.ok()) {
+    std::cerr << "error: " << compaction.status().ToString() << "\n";
     return 1;
   }
-  TablePrinter table({"Model", "Commit (30% modified)"});
-  table.AddRow({"delta-based", FormatSeconds(modified.value().first)});
-  table.AddRow({"split-by-rlist", FormatSeconds(modified.value().second)});
+  const DeltaCompaction& dc = compaction.value();
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow({"deepest lineage", std::to_string(dc.depth) + " deltas"});
+  table.AddRow({"checkout @ depth " + std::to_string(dc.depth),
+                FormatSeconds(dc.deep_checkout_seconds)});
+  table.AddRow({"checkout @ depth 1", FormatSeconds(dc.root_checkout_seconds)});
+  table.AddRow({"compaction (materialize + re-base)",
+                FormatSeconds(dc.compact_seconds)});
+  table.AddRow({"checkout after compaction",
+                FormatSeconds(dc.compacted_checkout_seconds)});
+  table.AddRow({"storage before", FormatBytes(dc.storage_before)});
+  table.AddRow({"storage after", FormatBytes(dc.storage_after)});
   table.Print();
-  std::cout << "\nPaper: delta 8.16s vs rlist 4.12s at 250K records — delta"
-               " should be slower here too.\n";
+  std::cout << "\nReplay cost scales with lineage depth; compaction buys the"
+               " depth-1 checkout back at the price of one full"
+               " materialization and a duplicated record set.\n";
   return 0;
 }

@@ -1,0 +1,180 @@
+// Durable storage benchmarks: snapshot write/load and commit-WAL
+// append/replay throughput at --scale'd dataset sizes.
+//
+// Four phases, each reported with wall time and MB/s or records/s:
+//   1. durable commit loop    — checkout + commit through the WAL
+//                               (fsync on and off)
+//   2. checkpoint             — full snapshot encode + atomic write
+//   3. cold open (snapshot)   — restore from the snapshot only
+//   4. cold open (WAL tail)   — restore snapshot + replay the commits
+//                               logged after it
+//
+// Usage: bench_persistence [--scale=<f>] [--threads=<n>] [--commits=<n>]
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/orpheus.h"
+#include "storage/io_util.h"
+#include "storage/storage_manager.h"
+
+using namespace orpheus;         // NOLINT
+using namespace orpheus::bench;  // NOLINT
+
+namespace {
+
+struct Numbers {
+  double commit_fsync_s = 0;
+  double commit_nosync_s = 0;
+  int64_t wal_bytes = 0;
+  double checkpoint_s = 0;
+  int64_t snapshot_bytes = 0;
+  double open_snapshot_s = 0;
+  double open_replay_s = 0;
+  int64_t records = 0;
+  int commits = 0;
+};
+
+double MbPerSec(int64_t bytes, double seconds) {
+  if (seconds <= 0) return 0;
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
+}
+
+Result<Numbers> RunOnce(const wl::Dataset& data, int commits,
+                        const std::string& dir) {
+  Numbers out;
+  out.commits = commits;
+  core::OrpheusDB db;
+  ORPHEUS_RETURN_NOT_OK(db.Open(dir));
+
+  // Version 1 carries the whole record universe so commits rewrite a
+  // full-size staged table (the worst case the WAL has to carry).
+  rel::Chunk all = data.AllRecordRows();
+  rel::Schema data_schema = data.DataSchema();
+  rel::Chunk rows(data_schema);
+  {
+    std::vector<uint32_t> every(all.num_rows());
+    for (size_t i = 0; i < every.size(); ++i) {
+      every[i] = static_cast<uint32_t>(i);
+    }
+    for (int c = 0; c < data_schema.num_columns(); ++c) {
+      rows.mutable_column(c).Gather(all.column(c + 1), every);
+    }
+  }
+  out.records = static_cast<int64_t>(rows.num_rows());
+  core::CvdOptions options;
+  ORPHEUS_ASSIGN_OR_RETURN(core::Cvd * cvd,
+                           db.InitCvd("bench", rows, options, "init"));
+  (void)cvd;
+
+  // Phase 1a: durable commits with per-record fsync.
+  WallTimer commit_timer;
+  for (int i = 0; i < commits; ++i) {
+    std::string table = "w" + std::to_string(i);
+    ORPHEUS_RETURN_NOT_OK(db.Checkout("bench", {1}, table));
+    ORPHEUS_ASSIGN_OR_RETURN(core::VersionId vid,
+                             db.Commit("bench", table, "commit"));
+    (void)vid;
+  }
+  out.commit_fsync_s = commit_timer.ElapsedSeconds();
+
+  // Phase 1b: same, fsync off (page-cache throughput).
+  db.storage()->set_fsync(false);
+  WallTimer nosync_timer;
+  for (int i = 0; i < commits; ++i) {
+    std::string table = "n" + std::to_string(i);
+    ORPHEUS_RETURN_NOT_OK(db.Checkout("bench", {1}, table));
+    ORPHEUS_ASSIGN_OR_RETURN(core::VersionId vid,
+                             db.Commit("bench", table, "commit"));
+    (void)vid;
+  }
+  out.commit_nosync_s = nosync_timer.ElapsedSeconds();
+  db.storage()->set_fsync(true);
+  ORPHEUS_ASSIGN_OR_RETURN(
+      out.wal_bytes,
+      storage::FileSize(storage::StorageManager::WalPath(dir)));
+
+  // Phase 2: checkpoint (snapshot covering everything, WAL truncated).
+  WallTimer checkpoint_timer;
+  ORPHEUS_RETURN_NOT_OK(db.Checkpoint());
+  out.checkpoint_s = checkpoint_timer.ElapsedSeconds();
+  ORPHEUS_ASSIGN_OR_RETURN(
+      out.snapshot_bytes,
+      storage::FileSize(storage::StorageManager::SnapshotPath(dir)));
+
+  // Phase 3: cold open from the snapshot alone.
+  {
+    core::OrpheusDB cold;
+    WallTimer open_timer;
+    ORPHEUS_RETURN_NOT_OK(cold.Open(dir));
+    out.open_snapshot_s = open_timer.ElapsedSeconds();
+  }
+
+  // Phase 4: log a WAL tail behind the snapshot, then open again so
+  // recovery replays it.
+  for (int i = 0; i < commits; ++i) {
+    std::string table = "r" + std::to_string(i);
+    ORPHEUS_RETURN_NOT_OK(db.Checkout("bench", {1}, table));
+    ORPHEUS_ASSIGN_OR_RETURN(core::VersionId vid,
+                             db.Commit("bench", table, "tail"));
+    (void)vid;
+  }
+  {
+    core::OrpheusDB cold;
+    WallTimer open_timer;
+    ORPHEUS_RETURN_NOT_OK(cold.Open(dir));
+    out.open_replay_s = open_timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+  int commits = static_cast<int>(flags.GetInt("commits", 4));
+  SetExecThreads(static_cast<int>(flags.GetInt("threads", 0)));
+
+  std::cout << "=== Durable storage: snapshot + WAL throughput ===\n\n";
+  TablePrinter table({"Dataset", "|R|", "commit(fsync)", "commit(nosync)",
+                      "WAL MB/s", "checkpoint", "snap size", "open(snap)",
+                      "open(snap+WAL)"});
+  for (const wl::DatasetSpec& base :
+       {SmallSpec(wl::WorkloadKind::kSci), MediumSpec(wl::WorkloadKind::kSci)}) {
+    wl::DatasetSpec spec = Scaled(base, scale);
+    wl::Dataset data = wl::Generate(spec);
+    auto tmp = storage::MakeTempDir("orpheus_bench_");
+    if (!tmp.ok()) {
+      std::cerr << "error: " << tmp.status().ToString() << "\n";
+      return 1;
+    }
+    const std::string dir = tmp.value() + "/db";
+    auto result = RunOnce(data, commits, dir);
+    (void)storage::RemoveDirRecursive(tmp.value());
+    if (!result.ok()) {
+      std::cerr << "error: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    const Numbers& n = result.value();
+    table.AddRow({spec.Name(), WithThousandsSep(n.records),
+                  FormatSeconds(n.commit_fsync_s / n.commits),
+                  FormatSeconds(n.commit_nosync_s / n.commits),
+                  StrFormat("%.1f", MbPerSec(n.wal_bytes, n.commit_fsync_s +
+                                                              n.commit_nosync_s)),
+                  FormatSeconds(n.checkpoint_s), FormatBytes(n.snapshot_bytes),
+                  FormatSeconds(n.open_snapshot_s),
+                  FormatSeconds(n.open_replay_s)});
+  }
+  table.Print();
+  std::cout << "\ncommit columns are per-commit wall time over " << commits
+            << " full-size commits; open(snap+WAL) replays " << commits
+            << " commits logged after the checkpoint.\n";
+  return 0;
+}

@@ -25,6 +25,9 @@ constexpr char kHelp[] =
     "  graph <cvd>               version graph as Graphviz dot\n"
     "  drop <cvd>\n"
     "  optimize <cvd> [-gamma <factor>]   partition with LYRESPLIT\n"
+    "  open <dir>                open/create a durable database directory\n"
+    "  checkpoint                write a fresh snapshot, truncate the WAL\n"
+    "  save <dir>                one-shot snapshot export (no WAL)\n"
     "  threads [<n>]             show or set scan parallelism (0 = hardware)\n"
     "  create_user <name> | config <name> | whoami\n"
     "  help | exit\n";
@@ -80,9 +83,23 @@ Result<std::string> CommandProcessor::Execute(const std::string& line) {
   }
   if (cmd == "drop") {
     if (args.size() < 2) return Status::InvalidArgument("drop <cvd>");
-    stores_.erase(args[1]);
     ORPHEUS_RETURN_NOT_OK(orpheus_.DropCvd(args[1]));
     return "dropped " + args[1];
+  }
+  if (cmd == "open") {
+    if (args.size() < 2) return Status::InvalidArgument("open <dir>");
+    ORPHEUS_RETURN_NOT_OK(orpheus_.Open(args[1]));
+    return "opened durable database at " + args[1] + " (" +
+           std::to_string(orpheus_.ListCvds().size()) + " CVDs)";
+  }
+  if (cmd == "checkpoint") {
+    ORPHEUS_RETURN_NOT_OK(orpheus_.Checkpoint());
+    return "checkpointed " + orpheus_.storage_dir();
+  }
+  if (cmd == "save") {
+    if (args.size() < 2) return Status::InvalidArgument("save <dir>");
+    ORPHEUS_RETURN_NOT_OK(orpheus_.SaveSnapshot(args[1]));
+    return "saved snapshot to " + args[1];
   }
   if (cmd == "graph") {
     if (args.size() < 2) return Status::InvalidArgument("graph <cvd>");
@@ -152,7 +169,6 @@ Result<std::string> CommandProcessor::Checkout(
     const std::vector<std::string>& args) {
   if (args.size() < 2) return Status::InvalidArgument("checkout <cvd> -v ... -t ...");
   const std::string& name = args[1];
-  ORPHEUS_ASSIGN_OR_RETURN(core::Cvd * cvd, orpheus_.GetCvd(name));
   std::string vid_text = FlagValue(args, "-v");
   if (vid_text.empty()) return Status::InvalidArgument("checkout requires -v");
   ORPHEUS_ASSIGN_OR_RETURN(std::vector<core::VersionId> vids,
@@ -164,9 +180,14 @@ Result<std::string> CommandProcessor::Checkout(
     return Status::InvalidArgument("checkout requires -t <table> or -f <file>");
   }
   if (table.empty()) {
-    table = name + "_csvstage_" + std::to_string(staging_counter_++);
+    // The counter restarts with each process, but a reopened durable
+    // session may have replayed csvstage checkouts from an earlier
+    // one — skip names that are already taken.
+    do {
+      table = name + "_csvstage_" + std::to_string(staging_counter_++);
+    } while (orpheus_.db()->HasTable(table));
   }
-  ORPHEUS_RETURN_NOT_OK(cvd->Checkout(vids, table));
+  ORPHEUS_RETURN_NOT_OK(orpheus_.Checkout(name, vids, table));
   if (!file.empty()) {
     ORPHEUS_ASSIGN_OR_RETURN(rel::Table * staged, orpheus_.db()->GetTable(table));
     ORPHEUS_RETURN_NOT_OK(WriteCsvFile(file, staged->data()));
@@ -218,8 +239,8 @@ Result<std::string> CommandProcessor::Commit(const std::vector<std::string>& arg
     return Status::InvalidArgument("commit requires -t <table> or -f <file>");
   }
 
-  ORPHEUS_ASSIGN_OR_RETURN(core::Cvd * cvd, orpheus_.GetCvd(cvd_name));
-  ORPHEUS_ASSIGN_OR_RETURN(core::VersionId vid, cvd->Commit(table, message));
+  ORPHEUS_ASSIGN_OR_RETURN(core::VersionId vid,
+                           orpheus_.Commit(cvd_name, table, message));
   return "committed version " + std::to_string(vid) + " to " + cvd_name;
 }
 
@@ -262,24 +283,13 @@ Result<std::string> CommandProcessor::Optimize(
                              cvd->model()->VersionRecords(vid));
     version_rids[vid] = std::move(rids);
   }
+  // Drop any previous store first so a re-optimize can reuse its
+  // physical table names (and WAL replay does the same).
+  orpheus_.DetachPartitionStore(name);
   auto store = std::make_unique<part::PartitionStore>(orpheus_.db(), name,
                                                       model->DataTable());
   ORPHEUS_RETURN_NOT_OK(store->Build(split.partitioning, std::move(version_rids)));
-  part::PartitionStore* raw = store.get();
-  cvd->SetCheckoutOverride(
-      [raw](core::VersionId vid, const std::string& table) {
-        return raw->CheckoutVersion(vid, table);
-      });
-  orpheus_.SetTableResolver(
-      name, [raw, model](const std::string&, core::VersionId vid)
-                -> Result<std::pair<std::string, std::string>> {
-        if (vid < 0) {
-          // Whole-CVD queries still use the unpartitioned tables.
-          return std::make_pair(model->DataTable(), model->VersioningTable());
-        }
-        return raw->TablesFor(vid);
-      });
-  stores_[name] = std::move(store);
+  ORPHEUS_RETURN_NOT_OK(orpheus_.AttachPartitionStore(name, std::move(store)));
   return "partitioned " + name + " into " +
          std::to_string(split.partitioning.num_partitions()) +
          " partitions (delta=" + StrFormat("%.4f", split.delta) +

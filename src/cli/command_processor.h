@@ -29,6 +29,7 @@ class CommandProcessor {
   //   run <sql>            (versioned SQL; VERSION n OF CVD c)
   //   ls | drop <cvd> | graph <cvd>
   //   optimize <cvd> [-gamma <factor>]
+  //   open <dir> | checkpoint | save <dir>   (durable storage)
   //   threads [<n>]        (scan parallelism; 0 = hardware default)
   //   create_user <name> | config <name> | whoami
   //   help | exit
@@ -45,8 +46,6 @@ class CommandProcessor {
   Result<std::string> Optimize(const std::vector<std::string>& args);
 
   core::OrpheusDB orpheus_;
-  // One partition store per optimized CVD.
-  std::map<std::string, std::unique_ptr<part::PartitionStore>> stores_;
   // csv file name -> staged table behind it (for -f flows).
   std::map<std::string, std::pair<std::string, std::string>> csv_staging_;
   bool exited_ = false;

@@ -2,16 +2,20 @@
 // runner over the OrpheusDB middleware.
 //
 // Usage:
-//   orpheus [--threads=<n>]                 interactive shell
-//   orpheus [--threads=<n>] script <file>   execute commands from a file
-//   orpheus [--threads=<n>] -c "<command>"  execute one command
+//   orpheus [--threads=<n>] [--db=<dir>]                 interactive shell
+//   orpheus [--threads=<n>] [--db=<dir>] script <file>   commands from a file
+//   orpheus [--threads=<n>] [--db=<dir>] -c "<command>"  one command
 //
 // --threads sets the relstore scan parallelism (default: hardware
 // concurrency; 1 forces the serial execution path). It can also be
 // changed at runtime with the `threads` shell command.
 //
-// The backing database is in-memory and lives for the duration of the
-// process; `script` mode is the way to run multi-command workflows.
+// --db opens (creating if needed) a durable database directory:
+// version-control commands are logged to its commit WAL, and a later
+// invocation with the same --db recovers the full state (snapshot +
+// WAL replay — see docs/PERSISTENCE.md). Without --db the backing
+// database is in-memory and dies with the process; the `open` shell
+// command is the runtime equivalent.
 
 #include <algorithm>
 #include <cstdint>
@@ -46,6 +50,15 @@ int main(int argc, char** argv) {
       std::min<int64_t>(std::max<int64_t>(threads, 0), orpheus::kMaxExecThreads)));
 
   orpheus::cli::CommandProcessor processor;
+  std::string db_dir = flags.GetString("db", "");
+  if (!db_dir.empty()) {
+    orpheus::Status st = processor.orpheus()->Open(db_dir);
+    if (!st.ok()) {
+      std::cerr << "error: cannot open --db=" << db_dir << ": "
+                << st.ToString() << "\n";
+      return 1;
+    }
+  }
   const std::vector<std::string>& args = flags.positional();
 
   if (args.size() >= 2 && args[0] == "-c") {

@@ -32,6 +32,10 @@
 #include "core/version_graph.h"
 #include "relstore/database.h"
 
+namespace orpheus::storage {
+class SnapshotCodec;
+}
+
 namespace orpheus::core {
 
 struct CvdOptions {
@@ -120,6 +124,10 @@ class Cvd {
   void ClearCheckoutOverride() { checkout_override_ = nullptr; }
 
  private:
+  // The snapshot codec reconstructs a Cvd around already-restored
+  // backing tables, bypassing Create's table DDL.
+  friend class storage::SnapshotCodec;
+
   Cvd(rel::Database* db, std::string name, rel::Schema data_schema,
       CvdOptions options);
 

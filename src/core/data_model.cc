@@ -124,6 +124,11 @@ Status DataModel::WidenDataColumn(const std::string& name, rel::DataType type) {
                               " does not support schema evolution");
 }
 
+Status DataModel::RestoreFromTables(const VersionGraph& graph) {
+  (void)graph;
+  return Status::OK();
+}
+
 std::unique_ptr<DataModel> MakeDataModel(DataModelKind kind, rel::Database* db,
                                          const std::string& cvd_name,
                                          rel::Schema data_schema) {
@@ -193,6 +198,17 @@ int64_t TablePerVersionModel::StorageBytes() const {
   int64_t bytes = 0;
   for (VersionId vid : versions_) bytes += TableBytes(VersionTable(vid));
   return bytes;
+}
+
+Status TablePerVersionModel::RestoreFromTables(const VersionGraph& graph) {
+  versions_ = graph.versions();
+  for (VersionId vid : versions_) {
+    if (!db_->HasTable(VersionTable(vid))) {
+      return Status::Internal("missing version table after restore: " +
+                              VersionTable(vid));
+    }
+  }
+  return Status::OK();
 }
 
 // --- Combined table ----------------------------------------------------
@@ -555,6 +571,18 @@ int64_t DeltaBasedModel::StorageBytes() const {
   int64_t bytes = TableBytes(cvd_name_ + "_deltameta");
   for (const auto& [vid, base] : base_) bytes += TableBytes(DeltaTable(vid));
   return bytes;
+}
+
+Status DeltaBasedModel::RestoreFromTables(const VersionGraph& graph) {
+  (void)graph;
+  base_.clear();
+  ORPHEUS_ASSIGN_OR_RETURN(
+      rel::Chunk rows,
+      db_->Execute("SELECT vid, base FROM " + cvd_name_ + "_deltameta"));
+  ORPHEUS_ASSIGN_OR_RETURN(std::vector<int64_t> vids, IntColumn(rows, "vid"));
+  ORPHEUS_ASSIGN_OR_RETURN(std::vector<int64_t> bases, IntColumn(rows, "base"));
+  for (size_t i = 0; i < vids.size(); ++i) base_[vids[i]] = bases[i];
+  return Status::OK();
 }
 
 }  // namespace orpheus::core

@@ -85,6 +85,13 @@ class DataModel {
   // Payload + index bytes across this model's backing tables.
   virtual int64_t StorageBytes() const = 0;
 
+  // Rebuilds model-private bookkeeping after a snapshot restore, when
+  // the backing tables already exist in the database (so Init must not
+  // be called). TPV recovers its version list from the graph; the
+  // delta model reloads its base map from <cvd>_deltameta. Default:
+  // stateless models need nothing.
+  virtual Status RestoreFromTables(const VersionGraph& graph);
+
   // Schema evolution support (§3.3). Only the split models support it;
   // others return NotSupported.
   virtual Status AddDataColumn(const std::string& name, rel::DataType type);
@@ -125,6 +132,7 @@ class TablePerVersionModel : public DataModel {
   Status CheckoutVersion(VersionId vid, const std::string& table_name) override;
   Result<std::vector<RecordId>> VersionRecords(VersionId vid) override;
   int64_t StorageBytes() const override;
+  Status RestoreFromTables(const VersionGraph& graph) override;
 
  private:
   std::string VersionTable(VersionId vid) const;
@@ -201,6 +209,7 @@ class DeltaBasedModel : public DataModel {
   Status CheckoutVersion(VersionId vid, const std::string& table_name) override;
   Result<std::vector<RecordId>> VersionRecords(VersionId vid) override;
   int64_t StorageBytes() const override;
+  Status RestoreFromTables(const VersionGraph& graph) override;
 
  private:
   std::string DeltaTable(VersionId vid) const;

@@ -1,6 +1,8 @@
 #include "core/orpheus.h"
 
 #include "core/data_model.h"
+#include "storage/io_util.h"
+#include "storage/storage_manager.h"
 
 namespace orpheus::core {
 
@@ -9,9 +11,14 @@ OrpheusDB::OrpheusDB() {
   current_user_ = "default";
 }
 
+OrpheusDB::~OrpheusDB() = default;
+
 Status OrpheusDB::CreateUser(const std::string& name) {
   if (!users_.insert(name).second) {
     return Status::AlreadyExists("user already exists: " + name);
+  }
+  if (storage_ != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(storage_->LogCreateUser(name));
   }
   return Status::OK();
 }
@@ -21,6 +28,9 @@ Status OrpheusDB::Login(const std::string& name) {
     return Status::NotFound("no such user: " + name);
   }
   current_user_ = name;
+  if (storage_ != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(storage_->LogLogin(name));
+  }
   return Status::OK();
 }
 
@@ -35,6 +45,9 @@ Result<Cvd*> OrpheusDB::InitCvd(const std::string& name, const rel::Chunk& rows,
   (void)v1;
   Cvd* raw = cvd.get();
   cvds_[name] = std::move(cvd);
+  if (storage_ != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(storage_->LogInitCvd(name, options, message, rows));
+  }
   return raw;
 }
 
@@ -54,7 +67,9 @@ std::vector<std::string> OrpheusDB::ListCvds() const {
 Status OrpheusDB::DropCvd(const std::string& name) {
   auto it = cvds_.find(name);
   if (it == cvds_.end()) return Status::NotFound("no such CVD: " + name);
-  // Drop all backing tables with this CVD's prefix.
+  // Partition tables go with their store; then everything else with
+  // this CVD's prefix.
+  DetachPartitionStore(name);
   for (const std::string& table : db_.ListTables()) {
     if (table.rfind(name + "_", 0) == 0) {
       ORPHEUS_RETURN_NOT_OK(db_.DropTable(table));
@@ -62,6 +77,50 @@ Status OrpheusDB::DropCvd(const std::string& name) {
   }
   resolver_overrides_.erase(name);
   cvds_.erase(it);
+  if (storage_ != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(storage_->LogDropCvd(name));
+  }
+  return Status::OK();
+}
+
+Status OrpheusDB::Checkout(const std::string& cvd_name,
+                           const std::vector<VersionId>& vids,
+                           const std::string& table_name) {
+  ORPHEUS_ASSIGN_OR_RETURN(Cvd * cvd, GetCvd(cvd_name));
+  ORPHEUS_RETURN_NOT_OK(cvd->Checkout(vids, table_name));
+  if (storage_ != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(storage_->LogCheckout(cvd_name, vids, table_name));
+  }
+  return Status::OK();
+}
+
+Result<VersionId> OrpheusDB::Commit(const std::string& cvd_name,
+                                    const std::string& table_name,
+                                    const std::string& message) {
+  ORPHEUS_ASSIGN_OR_RETURN(Cvd * cvd, GetCvd(cvd_name));
+  // Encode the WAL record before committing: Commit resolves rids in
+  // place and then drops the table, and replay needs the rows as the
+  // user committed them (they may differ from the checkout).
+  std::string commit_body;
+  if (storage_ != nullptr) {
+    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * staged, db_.GetTable(table_name));
+    commit_body = storage::StorageManager::EncodeCommitBody(
+        cvd_name, table_name, message, staged->data());
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(VersionId vid, cvd->Commit(table_name, message));
+  if (storage_ != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(storage_->AppendCommitBody(commit_body));
+  }
+  return vid;
+}
+
+Status OrpheusDB::DiscardStaged(const std::string& cvd_name,
+                                const std::string& table_name) {
+  ORPHEUS_ASSIGN_OR_RETURN(Cvd * cvd, GetCvd(cvd_name));
+  ORPHEUS_RETURN_NOT_OK(cvd->DiscardStaged(table_name));
+  if (storage_ != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(storage_->LogDiscardStaged(cvd_name, table_name));
+  }
   return Status::OK();
 }
 
@@ -90,6 +149,50 @@ void OrpheusDB::ClearTableResolver(const std::string& cvd_name) {
   resolver_overrides_.erase(cvd_name);
 }
 
+Status OrpheusDB::AttachPartitionStore(
+    const std::string& cvd_name, std::unique_ptr<part::PartitionStore> store) {
+  ORPHEUS_ASSIGN_OR_RETURN(Cvd * cvd, GetCvd(cvd_name));
+  auto* model = dynamic_cast<SplitByRlistModel*>(cvd->model());
+  if (model == nullptr) {
+    return Status::NotSupported(
+        "partition stores require the split-by-rlist data model");
+  }
+  part::PartitionStore* raw = store.get();
+  cvd->SetCheckoutOverride(
+      [raw](VersionId vid, const std::string& table) {
+        return raw->CheckoutVersion(vid, table);
+      });
+  SetTableResolver(
+      cvd_name, [raw, model](const std::string&, VersionId vid)
+                    -> Result<std::pair<std::string, std::string>> {
+        if (vid < 0) {
+          // Whole-CVD queries still use the unpartitioned tables.
+          return std::make_pair(model->DataTable(), model->VersioningTable());
+        }
+        return raw->TablesFor(vid);
+      });
+  partition_stores_[cvd_name] = std::move(store);
+  if (storage_ != nullptr) {
+    ORPHEUS_RETURN_NOT_OK(
+        storage_->LogRepartition(cvd_name, raw->VersionGroups()));
+  }
+  return Status::OK();
+}
+
+part::PartitionStore* OrpheusDB::partition_store(const std::string& cvd_name) {
+  auto it = partition_stores_.find(cvd_name);
+  return it == partition_stores_.end() ? nullptr : it->second.get();
+}
+
+void OrpheusDB::DetachPartitionStore(const std::string& cvd_name) {
+  auto it = partition_stores_.find(cvd_name);
+  if (it == partition_stores_.end()) return;
+  auto cvd = GetCvd(cvd_name);
+  if (cvd.ok()) cvd.value()->ClearCheckoutOverride();
+  ClearTableResolver(cvd_name);
+  partition_stores_.erase(it);  // the store drops its tables
+}
+
 Result<rel::Chunk> OrpheusDB::Run(const std::string& sql) {
   TableResolver resolver = [this](const std::string& cvd_name, VersionId vid) {
     return ResolveTables(cvd_name, vid);
@@ -97,6 +200,52 @@ Result<rel::Chunk> OrpheusDB::Run(const std::string& sql) {
   ORPHEUS_ASSIGN_OR_RETURN(std::string translated,
                            TranslateVersionedSql(sql, resolver));
   return db_.Execute(translated);
+}
+
+Status OrpheusDB::Open(const std::string& dir) {
+  if (storage_ != nullptr) {
+    return Status::InvalidArgument("durable storage already open at " +
+                                   storage_->dir());
+  }
+  // Pre-existing state would never reach the log (only verbs issued
+  // while durable are appended), so anything beyond the construction
+  // defaults — including extra users — must be rejected, or later
+  // logged verbs could reference state that replay cannot rebuild.
+  if (!cvds_.empty() || !db_.ListTables().empty() ||
+      users_ != std::set<std::string>{"default"} ||
+      current_user_ != "default") {
+    return Status::InvalidArgument(
+        "Open requires a fresh engine (CVDs, tables, or users already exist)");
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(storage_, storage::StorageManager::Open(dir, this));
+  return Status::OK();
+}
+
+Status OrpheusDB::Checkpoint() {
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("no durable storage open (use Open first)");
+  }
+  return storage_->Checkpoint();
+}
+
+Status OrpheusDB::SaveSnapshot(const std::string& dir) {
+  if (storage_ != nullptr) {
+    // Compare directory identities, not spellings: a watermark-0
+    // snapshot dropped into the live directory would make the next
+    // open replay the whole WAL on top of it. The open dir always
+    // resolves; if the target does not yet exist it cannot be it.
+    auto open_dir = storage::CanonicalPath(storage_->dir());
+    auto target = storage::CanonicalPath(dir);
+    if (open_dir.ok() && target.ok() && open_dir.value() == target.value()) {
+      return Status::InvalidArgument(
+          "target is the open durable directory; use Checkpoint() instead");
+    }
+  }
+  return storage::StorageManager::SaveSnapshotTo(this, dir);
+}
+
+std::string OrpheusDB::storage_dir() const {
+  return storage_ == nullptr ? std::string() : storage_->dir();
 }
 
 }  // namespace orpheus::core

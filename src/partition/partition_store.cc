@@ -338,6 +338,57 @@ Result<PartitionStore::MigrationStats> PartitionStore::Migrate(
   return stats;
 }
 
+PartitionStore::PersistedState PartitionStore::ExportState() const {
+  PersistedState state;
+  state.source_data_table = source_data_table_;
+  state.next_phys_id = next_phys_id_;
+  state.parts.reserve(parts_.size());
+  for (const Phys& phys : parts_) {
+    state.parts.push_back({phys.data_table, phys.rlist_table});
+  }
+  return state;
+}
+
+Result<std::unique_ptr<PartitionStore>> PartitionStore::Restore(
+    rel::Database* db, std::string cvd_name, const PersistedState& state) {
+  auto store = std::unique_ptr<PartitionStore>(
+      new PartitionStore(db, std::move(cvd_name), state.source_data_table));
+  store->next_phys_id_ = state.next_phys_id;
+  for (const PersistedState::Part& part : state.parts) {
+    Phys phys;
+    phys.data_table = part.data_table;
+    phys.rlist_table = part.rlist_table;
+    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * data, db->GetTable(part.data_table));
+    int rid_col = data->schema().FindColumn("rid");
+    if (rid_col < 0) {
+      return Status::Internal("partition data table lacks rid column: " +
+                              part.data_table);
+    }
+    const std::vector<int64_t>& rids = data->data().column(rid_col).ints();
+    phys.records.insert(rids.begin(), rids.end());
+    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * rlist, db->GetTable(part.rlist_table));
+    const rel::Chunk& rows = rlist->data();
+    const std::vector<int64_t>& vids = rows.column(0).ints();
+    const std::vector<rel::IntArray>& lists = rows.column(1).arrays();
+    size_t k = store->parts_.size();
+    for (size_t r = 0; r < rows.num_rows(); ++r) {
+      phys.versions.push_back(vids[r]);
+      store->vid_to_part_[vids[r]] = k;
+      store->version_rids_[vids[r]] =
+          std::vector<RecordId>(lists[r].begin(), lists[r].end());
+    }
+    store->parts_.push_back(std::move(phys));
+  }
+  return store;
+}
+
+std::vector<std::vector<VersionId>> PartitionStore::VersionGroups() const {
+  std::vector<std::vector<VersionId>> groups;
+  groups.reserve(parts_.size());
+  for (const Phys& phys : parts_) groups.push_back(phys.versions);
+  return groups;
+}
+
 int64_t PartitionStore::StorageRecords() const {
   int64_t total = 0;
   for (const Phys& phys : parts_) {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -83,8 +84,34 @@ class PartitionStore {
   size_t num_partitions() const { return parts_.size(); }
   size_t num_versions() const { return vid_to_part_.size(); }
 
+  // Version groups per partition, in partition order (the repartition
+  // WAL record logs exactly this so replay can rebuild the store).
+  std::vector<std::vector<VersionId>> VersionGroups() const;
+
   // Drops all partition tables and clears state.
   Status DropAll();
+
+  // --- Durability (storage subsystem) ---------------------------------
+
+  // The private state a snapshot must carry. The partition tables
+  // themselves are persisted by the database snapshot; this is just
+  // the wiring between them.
+  struct PersistedState {
+    struct Part {
+      std::string data_table;
+      std::string rlist_table;
+    };
+    std::string source_data_table;
+    int next_phys_id = 0;
+    std::vector<Part> parts;
+  };
+  PersistedState ExportState() const;
+
+  // Re-attaches to partition tables already present in `db` (restored
+  // from a snapshot): rebuilds per-partition record sets, version
+  // placement, and the version->rid mirror from the rlist tables.
+  static Result<std::unique_ptr<PartitionStore>> Restore(
+      rel::Database* db, std::string cvd_name, const PersistedState& state);
 
  private:
   struct Phys {

@@ -45,6 +45,16 @@ class Column {
     ++size_;
     if (!null_bitmap_.empty()) null_bitmap_.push_back(false);
   }
+  void AppendDouble(double v) {
+    doubles_.push_back(v);
+    ++size_;
+    if (!null_bitmap_.empty()) null_bitmap_.push_back(false);
+  }
+  void AppendString(std::string v) {
+    strings_.push_back(std::move(v));
+    ++size_;
+    if (!null_bitmap_.empty()) null_bitmap_.push_back(false);
+  }
   void AppendArray(IntArray v) {
     arrays_.push_back(std::move(v));
     ++size_;
@@ -55,6 +65,12 @@ class Column {
     return !null_bitmap_.empty() && null_bitmap_[row];
   }
   void SetNull(size_t row);
+
+  // Serialization support (storage subsystem): whether the validity
+  // bitmap is materialized, and a way to materialize it on restore so
+  // an allocated-but-all-valid bitmap round-trips exactly.
+  bool has_null_bitmap() const { return !null_bitmap_.empty(); }
+  void MaterializeNullBitmap() { EnsureBitmap(); }
 
   // Appends element `row` of `src` (same type) without boxing.
   void AppendFrom(const Column& src, size_t row);

@@ -95,6 +95,15 @@ Status Database::AdoptTable(const std::string& name, Chunk chunk,
   return Status::OK();
 }
 
+Status Database::AdoptTableObject(std::unique_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
 int64_t Database::TotalByteSize() const {
   int64_t bytes = 0;
   for (const auto& [name, table] : tables_) {

@@ -48,6 +48,11 @@ class Database {
   Status AdoptTable(const std::string& name, Chunk chunk,
                     std::vector<std::string> primary_key = {});
 
+  // Registers a fully-built Table object (snapshot restore path: the
+  // caller has already installed payload, declared indexes, and the
+  // clustering marker).
+  Status AdoptTableObject(std::unique_ptr<Table> table);
+
   // --- Settings and observability ------------------------------------
 
   JoinMethod join_method() const { return join_method_; }

@@ -53,6 +53,14 @@ bool Table::HasIndex(const std::string& column) const {
   return indexes_.count(column) > 0;
 }
 
+std::vector<std::string> Table::DeclaredIndexColumns() const {
+  std::vector<std::string> columns;
+  columns.reserve(indexes_.size());
+  for (const auto& [column, index] : indexes_) columns.push_back(column);
+  std::sort(columns.begin(), columns.end());
+  return columns;
+}
+
 Status Table::BuildIndex(const std::string& column, IntIndex* index) {
   int col = schema().FindColumn(column);
   if (col < 0) return Status::NotFound("no column " + column + " in " + name_);

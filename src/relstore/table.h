@@ -66,6 +66,10 @@ class Table {
   Status DeclareIndex(const std::string& column);
   bool HasIndex(const std::string& column) const;
 
+  // Columns with a declared index, in sorted order (snapshot codec;
+  // deterministic so snapshots of equal states are byte-equal).
+  std::vector<std::string> DeclaredIndexColumns() const;
+
   // Row positions whose `column` equals `key`; empty if none.
   // Builds the index on first use after a modification.
   //
@@ -100,6 +104,12 @@ class Table {
   // Sorts rows by an INT column and records it as the clustering key.
   Status ClusterBy(const std::string& column);
   const std::string& clustered_on() const { return clustered_on_; }
+
+  // Restores the clustering marker without re-sorting (snapshot
+  // restore: rows were serialized already in clustered order).
+  void RestoreClusteredMarker(std::string column) {
+    clustered_on_ = std::move(column);
+  }
 
   // Page model: how many rows share a (simulated) 8 KiB page, derived
   // from the average row width.

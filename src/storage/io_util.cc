@@ -1,0 +1,235 @@
+#include "storage/io_util.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace orpheus::storage {
+
+namespace {
+
+// CRC-32 lookup table, generated once (reflected 0xEDB88320).
+const uint32_t* CrcTable() {
+  static const std::vector<uint32_t> table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+// fsyncs the directory containing `path` so a completed rename/create
+// inside it survives a crash.
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open(dir)", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync(dir)", dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const uint32_t* table = CrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void EncodeStringVec(const std::vector<std::string>& strings, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(strings.size()));
+  for (const std::string& s : strings) w->PutString(s);
+}
+
+Result<std::vector<std::string>> DecodeStringVec(BinaryReader* r) {
+  uint32_t n = r->GetU32();
+  std::vector<std::string> out;
+  for (uint32_t i = 0; i < n && r->ok(); ++i) out.push_back(r->GetString());
+  ORPHEUS_RETURN_NOT_OK(r->status());
+  return out;
+}
+
+void EncodeI64Vec(const std::vector<int64_t>& values, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(values.size()));
+  w->PutRaw(values.data(), values.size() * sizeof(int64_t));
+}
+
+Result<std::vector<int64_t>> DecodeI64Vec(BinaryReader* r) {
+  uint32_t n = r->GetU32();
+  if (!r->ok() || r->remaining() < static_cast<uint64_t>(n) * sizeof(int64_t)) {
+    return Status::Internal("binary decode: truncated int64 vector");
+  }
+  std::vector<int64_t> out(n);
+  r->GetRaw(out.data(), n * sizeof(int64_t));
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<int64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  return static_cast<int64_t>(st.st_size);
+}
+
+Result<std::string> CanonicalPath(const std::string& path) {
+  char* resolved = ::realpath(path.c_str(), nullptr);
+  if (resolved == nullptr) {
+    return Status::NotFound("cannot resolve path: " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::string out(resolved);
+  ::free(resolved);
+  return out;
+}
+
+Status CreateDirectories(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) slash = path.size();
+    partial = path.substr(0, slash);
+    pos = slash + 1;
+    if (partial.empty()) continue;  // leading '/'
+    if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST) {
+      return Errno("mkdir", partial);
+    }
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("not a directory: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) return Errno("open", tmp);
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Errno("write", tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("rename", path);
+  }
+  return SyncParentDir(path);
+}
+
+Status TruncateFile(const std::string& path, int64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate", path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> MakeTempDir(const std::string& prefix) {
+  const char* base = ::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr ? base : "/tmp") + "/" +
+                     prefix + "XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) return Errno("mkdtemp", tmpl);
+  return std::string(buf.data());
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return Errno("opendir", path);
+  }
+  struct dirent* entry;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::string child = path + "/" + name;
+    struct stat st;
+    if (::lstat(child.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      Status sub = RemoveDirRecursive(child);
+      if (!sub.ok()) {
+        ::closedir(dir);
+        return sub;
+      }
+    } else {
+      ::unlink(child.c_str());
+    }
+  }
+  ::closedir(dir);
+  if (::rmdir(path.c_str()) != 0) return Errno("rmdir", path);
+  return Status::OK();
+}
+
+}  // namespace orpheus::storage

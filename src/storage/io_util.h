@@ -1,0 +1,180 @@
+// Low-level helpers for the durable storage subsystem: a CRC32
+// implementation (the WAL/snapshot checksum), little-endian binary
+// encode/decode buffers, and POSIX file utilities with the usual
+// crash-safety idioms (write-temp + fsync + atomic rename + fsync of
+// the containing directory).
+//
+// Everything here is value-level and engine-agnostic; the snapshot and
+// WAL codecs build on it.
+
+#ifndef ORPHEUS_STORAGE_IO_UTIL_H_
+#define ORPHEUS_STORAGE_IO_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orpheus::storage {
+
+// Standard CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the
+// same checksum zlib's crc32() computes. `seed` allows incremental
+// checksumming: Crc32(b, Crc32(a)) == Crc32(a+b).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+// --- Binary encoding ---------------------------------------------------
+//
+// All integers are little-endian fixed-width; strings and byte blobs
+// are u64-length-prefixed. Doubles are bit-cast to u64, so values
+// (incl. NaN payloads) round-trip exactly — the recovery contract
+// requires bit-identical restores.
+
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutLE(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutLE(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutString(std::string_view s) {
+    PutU64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+  void PutRaw(const void* data, size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+
+ private:
+  void PutLE(const void* v, size_t n) {
+    // Little-endian host assumed (x86-64/aarch64 Linux); a big-endian
+    // port would byte-swap here.
+    buf_.append(static_cast<const char*>(v), n);
+  }
+  std::string buf_;
+};
+
+// Bounds-checked reader over a byte view. The first out-of-bounds read
+// latches an error; callers check ok()/status() once at the end of a
+// decode section instead of after every field (reads after a failure
+// return zero values and never touch memory out of range).
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  uint8_t GetU8() {
+    if (!Ensure(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t GetU32() { return static_cast<uint32_t>(GetLE(4)); }
+  uint64_t GetU64() { return GetLE(8); }
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+  double GetDouble() {
+    uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string GetString() {
+    uint64_t n = GetU64();
+    if (!Ensure(n)) return std::string();
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+  // Zero-copy view variant (valid while the underlying buffer lives).
+  std::string_view GetStringView() {
+    uint64_t n = GetU64();
+    if (!Ensure(n)) return {};
+    std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  bool GetRaw(void* out, size_t n) {
+    if (!Ensure(n)) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool ok() const { return ok_; }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  Status status() const {
+    return ok_ ? Status::OK()
+               : Status::Internal("binary decode ran past end of buffer");
+  }
+
+ private:
+  bool Ensure(uint64_t n) {
+    if (!ok_ || n > data_.size() - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  uint64_t GetLE(size_t n) {
+    if (!Ensure(n)) return 0;
+    uint64_t v = 0;
+    std::memcpy(&v, data_.data() + pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Small composite codecs shared by the snapshot and WAL payloads.
+void EncodeStringVec(const std::vector<std::string>& strings, BinaryWriter* w);
+Result<std::vector<std::string>> DecodeStringVec(BinaryReader* r);
+void EncodeI64Vec(const std::vector<int64_t>& values, BinaryWriter* w);
+Result<std::vector<int64_t>> DecodeI64Vec(BinaryReader* r);
+
+// --- File helpers -------------------------------------------------------
+
+bool FileExists(const std::string& path);
+Result<int64_t> FileSize(const std::string& path);
+
+// realpath(): the canonical absolute path, or NotFound if the path
+// does not resolve. Used to compare directory identities ("./d" vs
+// "d") rather than spellings.
+Result<std::string> CanonicalPath(const std::string& path);
+
+// mkdir -p. OK if the directory already exists.
+Status CreateDirectories(const std::string& path);
+
+// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+// Crash-safe whole-file replace: writes `<path>.tmp`, fsyncs it,
+// renames over `path`, and fsyncs the parent directory so the rename
+// itself is durable. Readers see either the old or the new content,
+// never a prefix.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+// Truncates a file to `size` bytes (used to discard a torn WAL tail).
+Status TruncateFile(const std::string& path, int64_t size);
+
+// Creates a fresh temporary directory (mkdtemp) — tests and benches.
+Result<std::string> MakeTempDir(const std::string& prefix);
+
+// Recursively deletes a directory tree (test/bench cleanup).
+Status RemoveDirRecursive(const std::string& path);
+
+}  // namespace orpheus::storage
+
+#endif  // ORPHEUS_STORAGE_IO_UTIL_H_

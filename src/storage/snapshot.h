@@ -1,0 +1,73 @@
+// Versioned binary snapshot codec: serializes the whole engine state —
+// every relstore table (payload columns, null bitmaps, int-arrays,
+// primary keys, declared indexes, clustering markers), every CVD's
+// metadata (attribute pool, per-version attribute sets, staging area,
+// version graph, id counters), the user registry, and any partition
+// stores — into a single self-checking file image.
+//
+// File layout:
+//
+//   [8B magic "ORPHSNAP"][u32 format version][u64 last_lsn]
+//   [u64 body length][u32 body crc32][body]
+//
+// `last_lsn` is the WAL watermark: recovery replays only records with
+// a higher LSN (see wal.h). A format-version mismatch fails with a
+// clear Status — snapshots are not forward-compatible.
+//
+// The codec guarantees bit-identical restores: doubles round-trip as
+// raw bits, strings as raw bytes, and a materialized-but-all-valid
+// null bitmap is rematerialized so storage accounting matches too.
+
+#ifndef ORPHEUS_STORAGE_SNAPSHOT_H_
+#define ORPHEUS_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "relstore/chunk.h"
+#include "storage/io_util.h"
+
+namespace orpheus::core {
+class Cvd;
+class OrpheusDB;
+}
+
+namespace orpheus::storage {
+
+inline constexpr char kSnapshotMagic[9] = "ORPHSNAP";  // 8 bytes on disk
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+// Byte offset of the format version field (tests fabricate mismatches).
+inline constexpr size_t kSnapshotVersionOffset = 8;
+
+// Row-set codecs shared between snapshot table sections and WAL
+// records that carry chunks (init / commit).
+void EncodeSchema(const rel::Schema& schema, BinaryWriter* w);
+Result<rel::Schema> DecodeSchema(BinaryReader* r);
+void EncodeChunk(const rel::Chunk& chunk, BinaryWriter* w);
+Result<rel::Chunk> DecodeChunk(BinaryReader* r);
+
+class SnapshotCodec {
+ public:
+  // Serializes the full engine state into a snapshot file image.
+  static std::string Encode(core::OrpheusDB& db, uint64_t last_lsn);
+
+  // Validates `file` and installs its state into `db`, which must be a
+  // fresh engine. On success `*last_lsn` receives the watermark.
+  // Fails with InvalidArgument on a foreign file or format-version
+  // mismatch, Internal on checksum/structure corruption.
+  static Status Decode(std::string_view file, core::OrpheusDB* db,
+                       uint64_t* last_lsn);
+
+ private:
+  // Members (not free functions) because they exercise the friendship
+  // Cvd and OrpheusDB grant to this class.
+  static void EncodeCvd(const core::Cvd& cvd, BinaryWriter* w);
+  static Status DecodeCvd(BinaryReader* r, core::OrpheusDB* db);
+  static Status DecodePartitionStore(BinaryReader* r, core::OrpheusDB* db);
+};
+
+}  // namespace orpheus::storage
+
+#endif  // ORPHEUS_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,275 @@
+#include "storage/storage_manager.h"
+
+#include <map>
+#include <utility>
+
+#include "core/orpheus.h"
+#include "storage/io_util.h"
+#include "storage/snapshot.h"
+
+namespace orpheus::storage {
+
+namespace {
+
+using core::VersionId;
+
+const char* RecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kCreateUser: return "create_user";
+    case WalRecordType::kLogin: return "login";
+    case WalRecordType::kInitCvd: return "init_cvd";
+    case WalRecordType::kCheckout: return "checkout";
+    case WalRecordType::kCommit: return "commit";
+    case WalRecordType::kDiscardStaged: return "discard_staged";
+    case WalRecordType::kDropCvd: return "drop_cvd";
+    case WalRecordType::kRepartition: return "repartition";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StorageManager>> StorageManager::Open(
+    const std::string& dir, core::OrpheusDB* db) {
+  ORPHEUS_RETURN_NOT_OK(CreateDirectories(dir));
+  std::unique_ptr<StorageManager> manager(new StorageManager(dir, db));
+  ORPHEUS_RETURN_NOT_OK(manager->Recover());
+  return manager;
+}
+
+Status StorageManager::SaveSnapshotTo(core::OrpheusDB* db,
+                                      const std::string& dir) {
+  ORPHEUS_RETURN_NOT_OK(CreateDirectories(dir));
+  // A standalone export covers everything, so its watermark is 0: a
+  // later Open of the directory replays nothing.
+  std::string blob = SnapshotCodec::Encode(*db, /*last_lsn=*/0);
+  return WriteFileAtomic(SnapshotPath(dir), blob);
+}
+
+Status StorageManager::Recover() {
+  uint64_t snapshot_lsn = 0;
+  if (FileExists(SnapshotPath(dir_))) {
+    ORPHEUS_ASSIGN_OR_RETURN(std::string blob,
+                             ReadFileToString(SnapshotPath(dir_)));
+    Status st = SnapshotCodec::Decode(blob, db_, &snapshot_lsn);
+    if (!st.ok()) {
+      return Status::Internal("cannot recover " + dir_ +
+                              ": snapshot restore failed: " + st.ToString());
+    }
+  }
+
+  uint64_t max_lsn = snapshot_lsn;
+  const std::string wal_path = WalPath(dir_);
+  if (FileExists(wal_path)) {
+    ORPHEUS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(wal_path));
+    size_t valid_bytes = 0;
+    std::vector<WalRecord> records =
+        ParseWal(bytes, snapshot_lsn, &valid_bytes);
+    for (const WalRecord& record : records) {
+      Status st = ApplyRecord(record);
+      if (!st.ok()) {
+        return Status::Internal(
+            "cannot recover " + dir_ + ": WAL replay failed at lsn " +
+            std::to_string(record.lsn) + " (" + RecordTypeName(record.type) +
+            "): " + st.ToString());
+      }
+      max_lsn = record.lsn;
+    }
+    // Anything past the well-formed prefix is a torn or corrupt tail;
+    // discard it so the appender continues at a clean frame boundary.
+    if (valid_bytes < bytes.size()) {
+      ORPHEUS_RETURN_NOT_OK(TruncateFile(wal_path, valid_bytes));
+    }
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path, max_lsn + 1));
+  return Status::OK();
+}
+
+Status StorageManager::Checkpoint() {
+  std::string blob = SnapshotCodec::Encode(*db_, wal_->next_lsn() - 1);
+  ORPHEUS_RETURN_NOT_OK(WriteFileAtomic(SnapshotPath(dir_), blob));
+  return wal_->Reset();
+}
+
+// --- Appenders ----------------------------------------------------------
+
+Status StorageManager::LogCreateUser(const std::string& name) {
+  BinaryWriter body;
+  body.PutString(name);
+  return wal_->Append(WalRecordType::kCreateUser, body.data());
+}
+
+Status StorageManager::LogLogin(const std::string& name) {
+  BinaryWriter body;
+  body.PutString(name);
+  return wal_->Append(WalRecordType::kLogin, body.data());
+}
+
+Status StorageManager::LogInitCvd(const std::string& name,
+                                  const core::CvdOptions& options,
+                                  const std::string& message,
+                                  const rel::Chunk& rows) {
+  BinaryWriter body;
+  body.PutString(name);
+  body.PutU8(static_cast<uint8_t>(options.model));
+  EncodeStringVec(options.primary_key, &body);
+  body.PutString(message);
+  EncodeChunk(rows, &body);
+  return wal_->Append(WalRecordType::kInitCvd, body.data());
+}
+
+Status StorageManager::LogCheckout(const std::string& cvd_name,
+                                   const std::vector<VersionId>& vids,
+                                   const std::string& table_name) {
+  BinaryWriter body;
+  body.PutString(cvd_name);
+  EncodeI64Vec(vids, &body);
+  body.PutString(table_name);
+  return wal_->Append(WalRecordType::kCheckout, body.data());
+}
+
+std::string StorageManager::EncodeCommitBody(const std::string& cvd_name,
+                                             const std::string& table_name,
+                                             const std::string& message,
+                                             const rel::Chunk& staged_rows) {
+  BinaryWriter body;
+  body.PutString(cvd_name);
+  body.PutString(table_name);
+  body.PutString(message);
+  EncodeChunk(staged_rows, &body);
+  return body.Release();
+}
+
+Status StorageManager::AppendCommitBody(const std::string& body) {
+  return wal_->Append(WalRecordType::kCommit, body);
+}
+
+Status StorageManager::LogDiscardStaged(const std::string& cvd_name,
+                                        const std::string& table_name) {
+  BinaryWriter body;
+  body.PutString(cvd_name);
+  body.PutString(table_name);
+  return wal_->Append(WalRecordType::kDiscardStaged, body.data());
+}
+
+Status StorageManager::LogDropCvd(const std::string& cvd_name) {
+  BinaryWriter body;
+  body.PutString(cvd_name);
+  return wal_->Append(WalRecordType::kDropCvd, body.data());
+}
+
+Status StorageManager::LogRepartition(
+    const std::string& cvd_name,
+    const std::vector<std::vector<VersionId>>& groups) {
+  BinaryWriter body;
+  body.PutString(cvd_name);
+  body.PutU32(static_cast<uint32_t>(groups.size()));
+  for (const std::vector<VersionId>& group : groups) EncodeI64Vec(group, &body);
+  return wal_->Append(WalRecordType::kRepartition, body.data());
+}
+
+// --- Replay -------------------------------------------------------------
+
+Status StorageManager::ApplyRecord(const WalRecord& record) {
+  BinaryReader r(record.payload);
+  switch (record.type) {
+    case WalRecordType::kCreateUser: {
+      std::string name = r.GetString();
+      ORPHEUS_RETURN_NOT_OK(r.status());
+      return db_->CreateUser(name);
+    }
+    case WalRecordType::kLogin: {
+      std::string name = r.GetString();
+      ORPHEUS_RETURN_NOT_OK(r.status());
+      return db_->Login(name);
+    }
+    case WalRecordType::kInitCvd: {
+      std::string name = r.GetString();
+      core::CvdOptions options;
+      uint8_t kind_raw = r.GetU8();
+      if (kind_raw > static_cast<uint8_t>(core::DataModelKind::kDeltaBased)) {
+        return Status::Internal("unknown data model tag in init record");
+      }
+      options.model = static_cast<core::DataModelKind>(kind_raw);
+      ORPHEUS_ASSIGN_OR_RETURN(options.primary_key, DecodeStringVec(&r));
+      std::string message = r.GetString();
+      ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk rows, DecodeChunk(&r));
+      ORPHEUS_RETURN_NOT_OK(r.status());
+      ORPHEUS_ASSIGN_OR_RETURN(
+          core::Cvd * cvd,
+          db_->InitCvd(name, rows, std::move(options), message));
+      (void)cvd;
+      return Status::OK();
+    }
+    case WalRecordType::kCheckout: {
+      std::string cvd_name = r.GetString();
+      ORPHEUS_ASSIGN_OR_RETURN(std::vector<int64_t> vids, DecodeI64Vec(&r));
+      std::string table = r.GetString();
+      ORPHEUS_RETURN_NOT_OK(r.status());
+      return db_->Checkout(cvd_name, vids, table);
+    }
+    case WalRecordType::kCommit: {
+      std::string cvd_name = r.GetString();
+      std::string table = r.GetString();
+      std::string message = r.GetString();
+      ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk staged_rows, DecodeChunk(&r));
+      ORPHEUS_RETURN_NOT_OK(r.status());
+      // The log carries the staged content as of commit time (the user
+      // may have edited the checkout); overwrite before committing.
+      ORPHEUS_ASSIGN_OR_RETURN(rel::Table * staged,
+                               db_->db()->GetTable(table));
+      staged->mutable_chunk() = std::move(staged_rows);
+      ORPHEUS_ASSIGN_OR_RETURN(VersionId vid,
+                               db_->Commit(cvd_name, table, message));
+      (void)vid;
+      return Status::OK();
+    }
+    case WalRecordType::kDiscardStaged: {
+      std::string cvd_name = r.GetString();
+      std::string table = r.GetString();
+      ORPHEUS_RETURN_NOT_OK(r.status());
+      return db_->DiscardStaged(cvd_name, table);
+    }
+    case WalRecordType::kDropCvd: {
+      std::string cvd_name = r.GetString();
+      ORPHEUS_RETURN_NOT_OK(r.status());
+      return db_->DropCvd(cvd_name);
+    }
+    case WalRecordType::kRepartition: {
+      std::string cvd_name = r.GetString();
+      uint32_t num_groups = r.GetU32();
+      part::Partitioning partitioning;
+      for (uint32_t i = 0; i < num_groups && r.ok(); ++i) {
+        ORPHEUS_ASSIGN_OR_RETURN(std::vector<int64_t> group, DecodeI64Vec(&r));
+        partitioning.groups.push_back(std::move(group));
+      }
+      ORPHEUS_RETURN_NOT_OK(r.status());
+      ORPHEUS_ASSIGN_OR_RETURN(core::Cvd * cvd, db_->GetCvd(cvd_name));
+      auto* model = dynamic_cast<core::SplitByRlistModel*>(cvd->model());
+      if (model == nullptr) {
+        return Status::Internal("repartition record for non-rlist CVD " +
+                                cvd_name);
+      }
+      std::map<VersionId, std::vector<core::RecordId>> version_rids;
+      for (const std::vector<VersionId>& group : partitioning.groups) {
+        for (VersionId vid : group) {
+          ORPHEUS_ASSIGN_OR_RETURN(version_rids[vid],
+                                   model->VersionRecords(vid));
+        }
+      }
+      // Mirror the live `optimize` sequence exactly: detach (dropping
+      // any previous partition tables) so the rebuilt store reuses the
+      // same physical table names.
+      db_->DetachPartitionStore(cvd_name);
+      auto store = std::make_unique<part::PartitionStore>(
+          db_->db(), cvd_name, model->DataTable());
+      ORPHEUS_RETURN_NOT_OK(
+          store->Build(partitioning, std::move(version_rids)));
+      return db_->AttachPartitionStore(cvd_name, std::move(store));
+    }
+  }
+  return Status::Internal("unknown WAL record type " +
+                          std::to_string(static_cast<int>(record.type)));
+}
+
+}  // namespace orpheus::storage

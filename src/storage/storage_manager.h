@@ -1,0 +1,103 @@
+// StorageManager: the orchestration layer of the durable storage
+// subsystem. One manager owns one database directory:
+//
+//   <dir>/snapshot.orph   latest full snapshot (see snapshot.h)
+//   <dir>/wal.log         commit WAL since that snapshot (see wal.h)
+//
+// Open() recovers: restore the snapshot (if any), replay every WAL
+// record past the snapshot's LSN watermark, truncate any torn tail,
+// and arm the appender. Checkpoint() writes a fresh snapshot via
+// temp-file + atomic rename and empties the WAL; a crash between the
+// two steps is harmless because replay skips records at or below the
+// watermark.
+//
+// OrpheusDB calls the typed Log* appenders after each version-control
+// verb succeeds in memory; the OK returned by an appender is the
+// operation's durability point. Replay applies records through the
+// same OrpheusDB verbs — logging is disarmed during recovery because
+// the manager is not yet attached to the engine.
+
+#ifndef ORPHEUS_STORAGE_STORAGE_MANAGER_H_
+#define ORPHEUS_STORAGE_STORAGE_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cvd.h"
+#include "relstore/chunk.h"
+#include "storage/wal.h"
+
+namespace orpheus::core {
+class OrpheusDB;
+}
+
+namespace orpheus::storage {
+
+class StorageManager {
+ public:
+  // Opens (creating if needed) `dir` and recovers its state into `db`,
+  // which must be a fresh engine. The returned manager is armed for
+  // appending; OrpheusDB::Open attaches it to the engine.
+  static Result<std::unique_ptr<StorageManager>> Open(const std::string& dir,
+                                                      core::OrpheusDB* db);
+
+  // One-shot snapshot export (no WAL, no recovery arm).
+  static Status SaveSnapshotTo(core::OrpheusDB* db, const std::string& dir);
+
+  static std::string SnapshotPath(const std::string& dir) {
+    return dir + "/snapshot.orph";
+  }
+  static std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  // Fresh snapshot (temp file + atomic rename), then WAL truncation.
+  Status Checkpoint();
+
+  const std::string& dir() const { return dir_; }
+  uint64_t next_lsn() const { return wal_->next_lsn(); }
+
+  // Benches may trade per-record fdatasync for throughput.
+  void set_fsync(bool on) { wal_->set_fsync(on); }
+
+  // --- Typed WAL appenders ---------------------------------------------
+  Status LogCreateUser(const std::string& name);
+  Status LogLogin(const std::string& name);
+  Status LogInitCvd(const std::string& name, const core::CvdOptions& options,
+                    const std::string& message, const rel::Chunk& rows);
+  Status LogCheckout(const std::string& cvd_name,
+                     const std::vector<core::VersionId>& vids,
+                     const std::string& table_name);
+  // Commit is logged in two steps so the record body can be encoded
+  // straight out of the staged table *before* Commit resolves rids in
+  // place and drops it — no intermediate chunk copy.
+  static std::string EncodeCommitBody(const std::string& cvd_name,
+                                      const std::string& table_name,
+                                      const std::string& message,
+                                      const rel::Chunk& staged_rows);
+  Status AppendCommitBody(const std::string& body);
+  Status LogDiscardStaged(const std::string& cvd_name,
+                          const std::string& table_name);
+  Status LogDropCvd(const std::string& cvd_name);
+  Status LogRepartition(
+      const std::string& cvd_name,
+      const std::vector<std::vector<core::VersionId>>& groups);
+
+ private:
+  StorageManager(std::string dir, core::OrpheusDB* db)
+      : dir_(std::move(dir)), db_(db) {}
+
+  Status Recover();
+  Status ApplyRecord(const WalRecord& record);
+
+  std::string dir_;
+  core::OrpheusDB* db_;
+  std::unique_ptr<WalWriter> wal_;
+};
+
+}  // namespace orpheus::storage
+
+#endif  // ORPHEUS_STORAGE_STORAGE_MANAGER_H_

@@ -1,0 +1,105 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/io_util.h"
+
+namespace orpheus::storage {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;   // u32 length + u32 crc
+constexpr size_t kPayloadHeaderBytes = 9;  // u64 lsn + u8 type
+
+}  // namespace
+
+std::vector<WalRecord> ParseWal(std::string_view data, uint64_t after_lsn,
+                                size_t* valid_bytes) {
+  std::vector<WalRecord> records;
+  size_t pos = 0;
+  while (data.size() - pos >= kFrameHeaderBytes) {
+    uint32_t length;
+    uint32_t crc;
+    std::memcpy(&length, data.data() + pos, sizeof(length));
+    std::memcpy(&crc, data.data() + pos + 4, sizeof(crc));
+    if (length < kPayloadHeaderBytes ||
+        length > data.size() - pos - kFrameHeaderBytes) {
+      break;  // torn tail: the frame was never fully written
+    }
+    std::string_view payload = data.substr(pos + kFrameHeaderBytes, length);
+    if (Crc32(payload) != crc) break;  // corrupt frame: stop trusting the log
+    BinaryReader reader(payload);
+    WalRecord record;
+    record.lsn = reader.GetU64();
+    record.type = static_cast<WalRecordType>(reader.GetU8());
+    record.payload.assign(payload.data() + kPayloadHeaderBytes,
+                          length - kPayloadHeaderBytes);
+    pos += kFrameHeaderBytes + length;
+    if (record.lsn > after_lsn) records.push_back(std::move(record));
+  }
+  if (valid_bytes != nullptr) *valid_bytes = pos;
+  return records;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t next_lsn) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
+  if (fd < 0) {
+    return Status::Internal("cannot open WAL " + path + ": " +
+                            std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(path, fd, next_lsn));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Append(WalRecordType type, std::string_view body) {
+  BinaryWriter frame;
+  uint32_t length = static_cast<uint32_t>(kPayloadHeaderBytes + body.size());
+  // Assemble payload first so the CRC covers lsn + type + body.
+  BinaryWriter payload;
+  payload.PutU64(next_lsn_);
+  payload.PutU8(static_cast<uint8_t>(type));
+  payload.PutRaw(body.data(), body.size());
+  frame.PutU32(length);
+  frame.PutU32(Crc32(payload.data()));
+  frame.PutRaw(payload.data().data(), payload.data().size());
+
+  const std::string& bytes = frame.data();
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("WAL append failed for " + path_ + ": " +
+                              std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync_ && ::fdatasync(fd_) != 0) {
+    return Status::Internal("WAL fdatasync failed for " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  ++next_lsn_;
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::Internal("WAL truncate failed for " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  if (fsync_ && ::fdatasync(fd_) != 0) {
+    return Status::Internal("WAL fdatasync failed for " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace orpheus::storage

@@ -1,0 +1,95 @@
+// Commit WAL: an append-only log of the version-control verbs that
+// changed engine state since the last snapshot, in the style of the
+// RocksDB write-ahead log.
+//
+// Frame format (all little-endian):
+//
+//   [u32 length][u32 crc32][payload]
+//   payload = [u64 lsn][u8 record type][type-specific body]
+//
+// `length` counts the payload bytes; `crc32` covers the payload. LSNs
+// increase monotonically across the lifetime of a directory and never
+// reset — the snapshot stores the LSN it covers, so a crash between
+// "snapshot renamed" and "WAL truncated" is harmless: replay skips
+// records at or below the watermark.
+//
+// Recovery tolerates a torn tail (the reader stops at the first frame
+// that is short or fails its checksum, and the opener truncates the
+// file there). Corruption before the tail also stops replay — records
+// past a corrupt frame cannot be trusted to apply in order.
+
+#ifndef ORPHEUS_STORAGE_WAL_H_
+#define ORPHEUS_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orpheus::storage {
+
+enum class WalRecordType : uint8_t {
+  kCreateUser = 1,
+  kLogin = 2,
+  kInitCvd = 3,
+  kCheckout = 4,      // checkout / merging checkout (stages a table)
+  kCommit = 5,        // carries the full staged chunk: self-contained
+  kDiscardStaged = 6,
+  kDropCvd = 7,
+  kRepartition = 8,   // partition-store (re)build from `optimize`
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kCreateUser;
+  std::string payload;  // type-specific body (lsn/type already parsed)
+};
+
+// Parses a WAL byte buffer. Returns every well-formed record with
+// lsn > `after_lsn`, in file order. `*valid_bytes` receives the length
+// of the well-formed prefix — anything past it is a torn or corrupt
+// tail that the caller should truncate away.
+std::vector<WalRecord> ParseWal(std::string_view data, uint64_t after_lsn,
+                                size_t* valid_bytes);
+
+// Appender. One writer per directory; OrpheusDB serializes access.
+class WalWriter {
+ public:
+  // Opens `path` for appending (creating it if needed). `next_lsn` is
+  // the LSN the next record gets (replayers pass last-seen + 1).
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t next_lsn);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Appends one record and (by default) fdatasyncs — the returned OK
+  // is the durability point of the logged operation.
+  Status Append(WalRecordType type, std::string_view body);
+
+  // Empties the log after a checkpoint. The LSN counter keeps running.
+  Status Reset();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+
+  // Benches may trade durability for throughput; records still reach
+  // the OS page cache on every append.
+  void set_fsync(bool on) { fsync_ = on; }
+
+ private:
+  WalWriter(std::string path, int fd, uint64_t next_lsn)
+      : path_(std::move(path)), fd_(fd), next_lsn_(next_lsn) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t next_lsn_;
+  bool fsync_ = true;
+};
+
+}  // namespace orpheus::storage
+
+#endif  // ORPHEUS_STORAGE_WAL_H_
