@@ -1,301 +1,11 @@
 #include "cli/command_processor.h"
 
-#include <algorithm>
-#include <cstdlib>
-
-#include "cli/csv.h"
-#include "common/str_util.h"
-#include "common/thread_pool.h"
-#include "core/data_model.h"
-#include "partition/lyresplit.h"
-
 namespace orpheus::cli {
 
-namespace {
-
-constexpr char kHelp[] =
-    "OrpheusDB commands:\n"
-    "  init <cvd> -f <file.csv> [-pk a,b] [-model rlist|vlist|combined|delta|tpv]\n"
-    "  checkout <cvd> -v <vid>[,<vid>...] (-t <table> | -f <file.csv>)\n"
-    "  commit (-t <table> | -f <file.csv>) -m <message>\n"
-    "  diff <cvd> <v1> <v2>\n"
-    "  run <sql>                 versioned SQL (VERSION n OF CVD c)\n"
-    "  sql <sql>                 raw SQL against the backing database\n"
-    "  ls                        list CVDs\n"
-    "  graph <cvd>               version graph as Graphviz dot\n"
-    "  drop <cvd>\n"
-    "  optimize <cvd> [-gamma <factor>]   partition with LYRESPLIT\n"
-    "  open <dir>                open/create a durable database directory\n"
-    "  checkpoint                write a fresh snapshot, truncate the WAL\n"
-    "  save <dir>                one-shot snapshot export (no WAL)\n"
-    "  threads [<n>]             show or set scan parallelism (0 = hardware)\n"
-    "  create_user <name> | config <name> | whoami\n"
-    "  help | exit\n";
-
-// Extracts "-flag value" from an argument vector; empty if absent.
-std::string FlagValue(const std::vector<std::string>& args,
-                      const std::string& flag) {
-  for (size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == flag) return args[i + 1];
-  }
-  return "";
-}
-
-Result<std::vector<core::VersionId>> ParseVidList(const std::string& text) {
-  std::vector<core::VersionId> vids;
-  for (const std::string& piece : Split(text, ',')) {
-    if (Trim(piece).empty()) continue;
-    vids.push_back(std::strtoll(std::string(Trim(piece)).c_str(), nullptr, 10));
-  }
-  if (vids.empty()) return Status::InvalidArgument("no version ids given");
-  return vids;
-}
-
-}  // namespace
-
-CommandProcessor::CommandProcessor() = default;
+CommandProcessor::CommandProcessor() : session_(api_.NewSession()) {}
 
 Result<std::string> CommandProcessor::Execute(const std::string& line) {
-  std::string trimmed(Trim(line));
-  if (trimmed.empty() || trimmed[0] == '#') return std::string();
-  std::vector<std::string> args = SplitWhitespace(trimmed);
-  const std::string& cmd = args[0];
-
-  if (cmd == "help") return std::string(kHelp);
-  if (cmd == "exit" || cmd == "quit") {
-    exited_ = true;
-    return std::string("bye");
-  }
-  if (cmd == "whoami") return orpheus_.WhoAmI();
-  if (cmd == "create_user") {
-    if (args.size() < 2) return Status::InvalidArgument("create_user <name>");
-    ORPHEUS_RETURN_NOT_OK(orpheus_.CreateUser(args[1]));
-    return "created user " + args[1];
-  }
-  if (cmd == "config") {
-    if (args.size() < 2) return Status::InvalidArgument("config <name>");
-    ORPHEUS_RETURN_NOT_OK(orpheus_.Login(args[1]));
-    return "logged in as " + args[1];
-  }
-  if (cmd == "ls") {
-    std::vector<std::string> names = orpheus_.ListCvds();
-    return names.empty() ? "(no CVDs)" : Join(names, "\n");
-  }
-  if (cmd == "drop") {
-    if (args.size() < 2) return Status::InvalidArgument("drop <cvd>");
-    ORPHEUS_RETURN_NOT_OK(orpheus_.DropCvd(args[1]));
-    return "dropped " + args[1];
-  }
-  if (cmd == "open") {
-    if (args.size() < 2) return Status::InvalidArgument("open <dir>");
-    ORPHEUS_RETURN_NOT_OK(orpheus_.Open(args[1]));
-    return "opened durable database at " + args[1] + " (" +
-           std::to_string(orpheus_.ListCvds().size()) + " CVDs)";
-  }
-  if (cmd == "checkpoint") {
-    ORPHEUS_RETURN_NOT_OK(orpheus_.Checkpoint());
-    return "checkpointed " + orpheus_.storage_dir();
-  }
-  if (cmd == "save") {
-    if (args.size() < 2) return Status::InvalidArgument("save <dir>");
-    ORPHEUS_RETURN_NOT_OK(orpheus_.SaveSnapshot(args[1]));
-    return "saved snapshot to " + args[1];
-  }
-  if (cmd == "graph") {
-    if (args.size() < 2) return Status::InvalidArgument("graph <cvd>");
-    ORPHEUS_ASSIGN_OR_RETURN(core::Cvd * cvd, orpheus_.GetCvd(args[1]));
-    return cvd->graph().ToDot();
-  }
-  if (cmd == "run" || cmd == "sql") {
-    size_t pos = trimmed.find(cmd) + cmd.size();
-    std::string sql(Trim(trimmed.substr(pos)));
-    if (sql.empty()) return Status::InvalidArgument(cmd + " <sql>");
-    if (cmd == "run") {
-      ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk out, orpheus_.Run(sql));
-      return out.ToString(50);
-    }
-    ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk out, orpheus_.db()->Execute(sql));
-    return out.ToString(50);
-  }
-  if (cmd == "threads") {
-    // Scan parallelism for the relstore executor (the --threads flag's
-    // runtime equivalent). Takes effect for subsequent statements.
-    if (args.size() >= 2) {
-      char* end = nullptr;
-      long n = std::strtol(args[1].c_str(), &end, 10);
-      if (end == args[1].c_str() || *end != '\0' || n < 0) {
-        return Status::InvalidArgument("threads [<n>] with n >= 0");
-      }
-      // Clamp before narrowing so huge values can't wrap through int.
-      SetExecThreads(static_cast<int>(std::min<long>(n, kMaxExecThreads)));
-    }
-    return "exec threads: " + std::to_string(ExecThreads());
-  }
-  if (cmd == "init") return Init(args);
-  if (cmd == "checkout") return Checkout(args);
-  if (cmd == "commit") return Commit(args);
-  if (cmd == "diff") return DiffCmd(args);
-  if (cmd == "optimize") return Optimize(args);
-  return Status::InvalidArgument("unknown command: " + cmd + " (try 'help')");
-}
-
-Result<std::string> CommandProcessor::Init(const std::vector<std::string>& args) {
-  if (args.size() < 2) return Status::InvalidArgument("init <cvd> -f <file>");
-  const std::string& name = args[1];
-  std::string file = FlagValue(args, "-f");
-  if (file.empty()) return Status::InvalidArgument("init requires -f <file.csv>");
-  ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk rows, ReadCsvFile(file));
-
-  core::CvdOptions options;
-  std::string pk = FlagValue(args, "-pk");
-  if (!pk.empty()) {
-    for (const std::string& col : Split(pk, ',')) {
-      options.primary_key.emplace_back(Trim(col));
-    }
-  }
-  std::string model = FlagValue(args, "-model");
-  if (!model.empty()) {
-    ORPHEUS_ASSIGN_OR_RETURN(options.model, core::DataModelKindFromName(model));
-  }
-  ORPHEUS_ASSIGN_OR_RETURN(core::Cvd * cvd,
-                           orpheus_.InitCvd(name, rows, options,
-                                            "init from " + file));
-  return "initialized CVD " + name + " with version 1 (" +
-         std::to_string(cvd->graph().GetNode(1).value()->num_records) +
-         " records)";
-}
-
-Result<std::string> CommandProcessor::Checkout(
-    const std::vector<std::string>& args) {
-  if (args.size() < 2) return Status::InvalidArgument("checkout <cvd> -v ... -t ...");
-  const std::string& name = args[1];
-  std::string vid_text = FlagValue(args, "-v");
-  if (vid_text.empty()) return Status::InvalidArgument("checkout requires -v");
-  ORPHEUS_ASSIGN_OR_RETURN(std::vector<core::VersionId> vids,
-                           ParseVidList(vid_text));
-
-  std::string table = FlagValue(args, "-t");
-  std::string file = FlagValue(args, "-f");
-  if (table.empty() && file.empty()) {
-    return Status::InvalidArgument("checkout requires -t <table> or -f <file>");
-  }
-  if (table.empty()) {
-    // The counter restarts with each process, but a reopened durable
-    // session may have replayed csvstage checkouts from an earlier
-    // one — skip names that are already taken.
-    do {
-      table = name + "_csvstage_" + std::to_string(staging_counter_++);
-    } while (orpheus_.db()->HasTable(table));
-  }
-  ORPHEUS_RETURN_NOT_OK(orpheus_.Checkout(name, vids, table));
-  if (!file.empty()) {
-    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * staged, orpheus_.db()->GetTable(table));
-    ORPHEUS_RETURN_NOT_OK(WriteCsvFile(file, staged->data()));
-    csv_staging_[file] = {name, table};
-    return "checked out version(s) " + vid_text + " of " + name + " into " + file;
-  }
-  return "checked out version(s) " + vid_text + " of " + name + " into table " +
-         table;
-}
-
-Result<std::string> CommandProcessor::Commit(const std::vector<std::string>& args) {
-  std::string table = FlagValue(args, "-t");
-  std::string file = FlagValue(args, "-f");
-  std::string message = FlagValue(args, "-m");
-  if (message.empty()) message = "(no message)";
-
-  std::string cvd_name;
-  if (!file.empty()) {
-    auto it = csv_staging_.find(file);
-    if (it == csv_staging_.end()) {
-      return Status::NotFound("file was not checked out from a CVD: " + file);
-    }
-    cvd_name = it->second.first;
-    table = it->second.second;
-    // Reload the (possibly externally edited) csv into the staged
-    // table, keeping the rid column where rows still carry one.
-    ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk rows, ReadCsvFile(file));
-    ORPHEUS_ASSIGN_OR_RETURN(rel::Table * staged, orpheus_.db()->GetTable(table));
-    if (!rows.schema().Equals(staged->schema())) {
-      return Status::InvalidArgument(
-          "csv schema does not match the checked-out schema (did the header "
-          "change?)");
-    }
-    staged->mutable_chunk() = std::move(rows);
-    csv_staging_.erase(it);
-  } else if (!table.empty()) {
-    // Find the CVD owning this staged table.
-    for (const std::string& name : orpheus_.ListCvds()) {
-      ORPHEUS_ASSIGN_OR_RETURN(core::Cvd * cvd, orpheus_.GetCvd(name));
-      if (cvd->staged_tables().count(table) > 0) {
-        cvd_name = name;
-        break;
-      }
-    }
-    if (cvd_name.empty()) {
-      return Status::NotFound("table was not checked out from any CVD: " + table);
-    }
-  } else {
-    return Status::InvalidArgument("commit requires -t <table> or -f <file>");
-  }
-
-  ORPHEUS_ASSIGN_OR_RETURN(core::VersionId vid,
-                           orpheus_.Commit(cvd_name, table, message));
-  return "committed version " + std::to_string(vid) + " to " + cvd_name;
-}
-
-Result<std::string> CommandProcessor::DiffCmd(const std::vector<std::string>& args) {
-  if (args.size() < 4) return Status::InvalidArgument("diff <cvd> <v1> <v2>");
-  ORPHEUS_ASSIGN_OR_RETURN(core::Cvd * cvd, orpheus_.GetCvd(args[1]));
-  core::VersionId v1 = std::strtoll(args[2].c_str(), nullptr, 10);
-  core::VersionId v2 = std::strtoll(args[3].c_str(), nullptr, 10);
-  ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk fwd, cvd->Diff(v1, v2));
-  ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk bwd, cvd->Diff(v2, v1));
-  std::string out = "records only in v" + std::to_string(v1) + " (" +
-                    std::to_string(fwd.num_rows()) + "):\n" + fwd.ToString(20);
-  out += "records only in v" + std::to_string(v2) + " (" +
-         std::to_string(bwd.num_rows()) + "):\n" + bwd.ToString(20);
-  return out;
-}
-
-Result<std::string> CommandProcessor::Optimize(
-    const std::vector<std::string>& args) {
-  if (args.size() < 2) return Status::InvalidArgument("optimize <cvd> [-gamma f]");
-  const std::string& name = args[1];
-  ORPHEUS_ASSIGN_OR_RETURN(core::Cvd * cvd, orpheus_.GetCvd(name));
-  auto* model = dynamic_cast<core::SplitByRlistModel*>(cvd->model());
-  if (model == nullptr) {
-    return Status::NotSupported("optimize requires the split-by-rlist model");
-  }
-  double factor = 2.0;
-  std::string gamma_text = FlagValue(args, "-gamma");
-  if (!gamma_text.empty()) factor = std::strtod(gamma_text.c_str(), nullptr);
-
-  int64_t gamma =
-      static_cast<int64_t>(factor * static_cast<double>(cvd->total_records()));
-  ORPHEUS_ASSIGN_OR_RETURN(part::LyreSplitResult split,
-                           part::LyreSplit::RunForBudget(cvd->graph(), gamma));
-
-  // Materialize the partitions and install the checkout/query routing.
-  std::map<core::VersionId, std::vector<core::RecordId>> version_rids;
-  for (core::VersionId vid : cvd->graph().versions()) {
-    ORPHEUS_ASSIGN_OR_RETURN(std::vector<core::RecordId> rids,
-                             cvd->model()->VersionRecords(vid));
-    version_rids[vid] = std::move(rids);
-  }
-  // Drop any previous store first so a re-optimize can reuse its
-  // physical table names (and WAL replay does the same).
-  orpheus_.DetachPartitionStore(name);
-  auto store = std::make_unique<part::PartitionStore>(orpheus_.db(), name,
-                                                      model->DataTable());
-  ORPHEUS_RETURN_NOT_OK(store->Build(split.partitioning, std::move(version_rids)));
-  ORPHEUS_RETURN_NOT_OK(orpheus_.AttachPartitionStore(name, std::move(store)));
-  return "partitioned " + name + " into " +
-         std::to_string(split.partitioning.num_partitions()) +
-         " partitions (delta=" + StrFormat("%.4f", split.delta) +
-         ", est. storage=" + std::to_string(split.estimated_storage) +
-         " records, est. checkout=" +
-         StrFormat("%.1f", split.estimated_checkout) + " records)";
+  return api_.Execute(session_.get(), line);
 }
 
 }  // namespace orpheus::cli

@@ -1,17 +1,18 @@
-// Command processor for the `orpheus` client: parses git-style
-// version-control commands (§2.2 of the paper) and dispatches them to
-// the OrpheusDB middleware. Shared between the interactive shell,
-// script mode, and the CLI tests.
+// Command processor for the in-process `orpheus` client: one
+// EngineApi plus one implicit session. Since the server refactor the
+// command parsing and all engine access live in core::EngineApi
+// (transport-free, shared with the socket server); this class is the
+// thin single-session convenience wrapper the interactive shell,
+// script mode, examples, and the CLI tests use.
 
 #ifndef ORPHEUS_CLI_COMMAND_PROCESSOR_H_
 #define ORPHEUS_CLI_COMMAND_PROCESSOR_H_
 
+#include <memory>
 #include <string>
 
 #include "common/status.h"
-#include "core/orpheus.h"
-#include "partition/online.h"
-#include "partition/partition_store.h"
+#include "core/engine_api.h"
 
 namespace orpheus::cli {
 
@@ -19,37 +20,18 @@ class CommandProcessor {
  public:
   CommandProcessor();
 
-  // Executes one command line; returns the text to display.
-  //
-  // Commands:
-  //   init <cvd> -f <file.csv> [-pk a,b]  [-model rlist|vlist|...]
-  //   checkout <cvd> -v <vid>[,<vid>...] (-t <table> | -f <file.csv>)
-  //   commit (-t <table> | -f <file.csv> -c <cvd>) -m <message>
-  //   diff <cvd> <v1> <v2>
-  //   run <sql>            (versioned SQL; VERSION n OF CVD c)
-  //   ls | drop <cvd> | graph <cvd>
-  //   optimize <cvd> [-gamma <factor>]
-  //   open <dir> | checkpoint | save <dir>   (durable storage)
-  //   threads [<n>]        (scan parallelism; 0 = hardware default)
-  //   create_user <name> | config <name> | whoami
-  //   help | exit
+  // Executes one command line; returns the text to display. See
+  // core/engine_api.h for the command list (`help` prints it too).
   Result<std::string> Execute(const std::string& line);
 
-  core::OrpheusDB* orpheus() { return &orpheus_; }
-  bool exited() const { return exited_; }
+  core::OrpheusDB* orpheus() { return api_.orpheus(); }
+  core::EngineApi* api() { return &api_; }
+  core::SessionContext* session() { return session_.get(); }
+  bool exited() const { return session_->exited(); }
 
  private:
-  Result<std::string> Init(const std::vector<std::string>& args);
-  Result<std::string> Checkout(const std::vector<std::string>& args);
-  Result<std::string> Commit(const std::vector<std::string>& args);
-  Result<std::string> DiffCmd(const std::vector<std::string>& args);
-  Result<std::string> Optimize(const std::vector<std::string>& args);
-
-  core::OrpheusDB orpheus_;
-  // csv file name -> staged table behind it (for -f flows).
-  std::map<std::string, std::pair<std::string, std::string>> csv_staging_;
-  bool exited_ = false;
-  int staging_counter_ = 0;
+  core::EngineApi api_;
+  std::shared_ptr<core::SessionContext> session_;
 };
 
 }  // namespace orpheus::cli

@@ -1,10 +1,15 @@
 // The `orpheus` command client (§2.2): an interactive shell / script
-// runner over the OrpheusDB middleware.
+// runner over the OrpheusDB middleware — and, with --serve, the
+// versioning server that shares one engine across many sessions.
 //
 // Usage:
 //   orpheus [--threads=<n>] [--db=<dir>]                 interactive shell
 //   orpheus [--threads=<n>] [--db=<dir>] script <file>   commands from a file
 //   orpheus [--threads=<n>] [--db=<dir>] -c "<command>"  one command
+//   orpheus --serve=<port> [--db=<dir>] [--workers=<n>]
+//           [--idle-timeout-sec=<s>]                     versioning server
+//   orpheus --connect=<host:port> [script <file> | -c "<command>"]
+//                                                        remote client
 //
 // --threads sets the relstore scan parallelism (default: hardware
 // concurrency; 1 forces the serial execution path). It can also be
@@ -15,7 +20,18 @@
 // invocation with the same --db recovers the full state (snapshot +
 // WAL replay — see docs/PERSISTENCE.md). Without --db the backing
 // database is in-memory and dies with the process; the `open` shell
-// command is the runtime equivalent.
+// command is the runtime equivalent. --wal-checkpoint-bytes=<n> (and
+// --wal-checkpoint-records=<n>) arm the automatic checkpoint policy:
+// once the WAL grows past either bound, the next logged verb folds it
+// into a fresh snapshot.
+//
+// --serve=<port> (0 = ephemeral; the bound port is printed) turns the
+// process into a loopback TCP server speaking the framed protocol of
+// docs/SERVER.md. --connect runs the same shell/script/-c front-ends
+// against such a server instead of an in-process engine.
+
+#include <csignal>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdint>
@@ -26,11 +42,22 @@
 #include "cli/command_processor.h"
 #include "common/flags.h"
 #include "common/thread_pool.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "storage/storage_manager.h"
 
 namespace {
 
-int RunLine(orpheus::cli::CommandProcessor* processor, const std::string& line) {
-  auto result = processor->Execute(line);
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+// Runs one line against either a local processor or a remote client;
+// prints output / error like the shell always has.
+template <typename Target>
+int RunLine(Target* target, const std::string& line) {
+  auto result = target->Execute(line);
   if (!result.ok()) {
     std::cerr << "error: " << result.status().ToString() << "\n";
     return 1;
@@ -39,15 +66,114 @@ int RunLine(orpheus::cli::CommandProcessor* processor, const std::string& line) 
   return 0;
 }
 
+// The shared shell/script/-c front-end. `exited` reports whether the
+// backing session has ended (local `exit`, or server-side close).
+template <typename Target, typename ExitedFn>
+int RunFrontEnd(Target* target, const std::vector<std::string>& args,
+                ExitedFn exited) {
+  if (args.size() >= 2 && args[0] == "-c") {
+    return RunLine(target, args[1]);
+  }
+  if (args.size() >= 2 && args[0] == "script") {
+    std::ifstream in(args[1]);
+    if (!in) {
+      std::cerr << "error: cannot open script " << args[1] << "\n";
+      return 1;
+    }
+    std::string line;
+    int failures = 0;
+    while (std::getline(in, line) && !exited()) {
+      failures += RunLine(target, line);
+    }
+    return failures > 0 ? 1 : 0;
+  }
+
+  std::cout << "OrpheusDB shell — type 'help' for commands, 'exit' to quit\n";
+  std::string line;
+  while (!exited()) {
+    std::cout << "orpheus> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    RunLine(target, line);
+  }
+  return 0;
+}
+
+int ServeMain(const orpheus::Flags& flags) {
+  orpheus::core::EngineApi api;
+  std::string db_dir = flags.GetString("db", "");
+  if (!db_dir.empty()) {
+    orpheus::Status st = api.orpheus()->Open(db_dir);
+    if (!st.ok()) {
+      std::cerr << "error: cannot open --db=" << db_dir << ": "
+                << st.ToString() << "\n";
+      return 1;
+    }
+    if (flags.Has("wal-checkpoint-bytes") || flags.Has("wal-checkpoint-records")) {
+      api.orpheus()->storage()->SetAutoCheckpointPolicy(
+          static_cast<uint64_t>(flags.GetInt("wal-checkpoint-bytes", 0)),
+          static_cast<uint64_t>(flags.GetInt("wal-checkpoint-records", 0)));
+    }
+  }
+
+  orpheus::server::ServerOptions options;
+  int64_t port = flags.GetInt("serve", 0);
+  if (port < 0 || port > 65535) {
+    std::cerr << "error: --serve port out of range\n";
+    return 1;
+  }
+  options.port = static_cast<uint16_t>(port);
+  options.workers = static_cast<int>(
+      std::min<int64_t>(std::max<int64_t>(flags.GetInt("workers", 8), 1), 256));
+  options.idle_timeout_sec = flags.GetDouble("idle-timeout-sec", 300.0);
+
+  orpheus::server::Server server(&api, options);
+  orpheus::Status st = server.Start();
+  if (!st.ok()) {
+    std::cerr << "error: cannot start server: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "orpheus server listening on 127.0.0.1:" << server.port()
+            << std::endl;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown) {
+    ::usleep(50 * 1000);
+  }
+  std::cout << "orpheus server shutting down" << std::endl;
+  server.Stop();
+  return 0;
+}
+
+int ConnectMain(const orpheus::Flags& flags) {
+  auto spec = orpheus::server::ParseHostPort(flags.GetString("connect", ""));
+  if (!spec.ok()) {
+    std::cerr << "error: bad --connect: " << spec.status().ToString() << "\n";
+    return 1;
+  }
+  orpheus::server::Client client;
+  orpheus::Status st = client.Connect(spec.value().first, spec.value().second);
+  if (!st.ok()) {
+    std::cerr << "error: cannot connect: " << st.ToString() << "\n";
+    return 1;
+  }
+  return RunFrontEnd(&client, flags.positional(),
+                     [&client] { return client.closed(); });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   orpheus::Flags flags(argc, argv);
+  if (flags.Has("connect")) return ConnectMain(flags);
+
   // 0 = hardware concurrency (the default); 1 = serial. Clamp before
   // narrowing so huge flag values can't wrap through int.
   int64_t threads = flags.GetInt("threads", 0);
   orpheus::SetExecThreads(static_cast<int>(
       std::min<int64_t>(std::max<int64_t>(threads, 0), orpheus::kMaxExecThreads)));
+
+  if (flags.Has("serve")) return ServeMain(flags);
 
   orpheus::cli::CommandProcessor processor;
   std::string db_dir = flags.GetString("db", "");
@@ -58,32 +184,12 @@ int main(int argc, char** argv) {
                 << st.ToString() << "\n";
       return 1;
     }
-  }
-  const std::vector<std::string>& args = flags.positional();
-
-  if (args.size() >= 2 && args[0] == "-c") {
-    return RunLine(&processor, args[1]);
-  }
-  if (args.size() >= 2 && args[0] == "script") {
-    std::ifstream in(args[1]);
-    if (!in) {
-      std::cerr << "error: cannot open script " << args[1] << "\n";
-      return 1;
+    if (flags.Has("wal-checkpoint-bytes") || flags.Has("wal-checkpoint-records")) {
+      processor.orpheus()->storage()->SetAutoCheckpointPolicy(
+          static_cast<uint64_t>(flags.GetInt("wal-checkpoint-bytes", 0)),
+          static_cast<uint64_t>(flags.GetInt("wal-checkpoint-records", 0)));
     }
-    std::string line;
-    int failures = 0;
-    while (std::getline(in, line) && !processor.exited()) {
-      failures += RunLine(&processor, line);
-    }
-    return failures > 0 ? 1 : 0;
   }
-
-  std::cout << "OrpheusDB shell — type 'help' for commands, 'exit' to quit\n";
-  std::string line;
-  while (!processor.exited()) {
-    std::cout << "orpheus> " << std::flush;
-    if (!std::getline(std::cin, line)) break;
-    RunLine(&processor, line);
-  }
-  return 0;
+  return RunFrontEnd(&processor, flags.positional(),
+                     [&processor] { return processor.exited(); });
 }

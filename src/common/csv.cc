@@ -1,4 +1,4 @@
-#include "cli/csv.h"
+#include "common/csv.h"
 
 #include <cctype>
 #include <cstdlib>
@@ -8,7 +8,7 @@
 
 #include "common/str_util.h"
 
-namespace orpheus::cli {
+namespace orpheus {
 
 namespace {
 
@@ -179,4 +179,4 @@ Status WriteCsvFile(const std::string& path, const rel::Chunk& chunk) {
   return Status::OK();
 }
 
-}  // namespace orpheus::cli
+}  // namespace orpheus

@@ -1,15 +1,15 @@
-// Minimal CSV support for the command client: `init -f file.csv` and
+// Minimal CSV support for the command clients (CLI and server): `init -f file.csv` and
 // `checkout -f file.csv` flows from §2.2 of the paper.
 
-#ifndef ORPHEUS_CLI_CSV_H_
-#define ORPHEUS_CLI_CSV_H_
+#ifndef ORPHEUS_COMMON_CSV_H_
+#define ORPHEUS_COMMON_CSV_H_
 
 #include <string>
 
 #include "common/status.h"
 #include "relstore/chunk.h"
 
-namespace orpheus::cli {
+namespace orpheus {
 
 // Parses CSV text (first line = header) into a chunk. Column types
 // are inferred: INT if every value parses as an integer, DOUBLE if
@@ -25,6 +25,6 @@ std::string ToCsv(const rel::Chunk& chunk);
 // Writes a chunk to a CSV file.
 Status WriteCsvFile(const std::string& path, const rel::Chunk& chunk);
 
-}  // namespace orpheus::cli
+}  // namespace orpheus
 
-#endif  // ORPHEUS_CLI_CSV_H_
+#endif  // ORPHEUS_COMMON_CSV_H_

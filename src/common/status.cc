@@ -22,6 +22,10 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

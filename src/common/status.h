@@ -25,6 +25,8 @@ enum class StatusCode {
   kParseError,        // SQL or command text failed to parse
   kInternal,          // invariant violation inside the library
   kNotSupported,      // recognized but unimplemented construct
+  kFailedPrecondition,  // valid request, but engine state forbids it now
+  kUnavailable,       // resource held elsewhere (lock file, closed peer)
 };
 
 // A success-or-error value. `ok()` is the common case; error statuses
@@ -54,6 +56,22 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  // Rebuilds a status from a transported (code, message) pair — the
+  // server protocol's decode path. An out-of-range code maps to
+  // kInternal rather than trusting the wire.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return OK();
+    if (code < StatusCode::kOk || code > StatusCode::kUnavailable) {
+      code = StatusCode::kInternal;
+    }
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -49,6 +49,14 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
   if (workers_.empty() || count == 1) {

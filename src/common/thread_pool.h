@@ -67,6 +67,14 @@ class ThreadPool {
   // See the header comment for the concurrency contract.
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
+  // Enqueues one fire-and-forget task for a worker thread (the socket
+  // server's connection handlers ride on this). Tasks still queued at
+  // destruction time are drained before the workers join, so a posted
+  // task always runs — but long-lived tasks must watch their own stop
+  // signal or the destructor will wait on them forever. Requires
+  // num_workers() >= 1 (a zero-worker pool has nobody to run it).
+  void Post(std::function<void()> task);
+
  private:
   // One ParallelFor's shared state. Kept alive by shared_ptr so a
   // straggling worker that merely probes `next` after completion never

@@ -45,6 +45,7 @@
 #ifndef ORPHEUS_RELSTORE_EXECUTOR_H_
 #define ORPHEUS_RELSTORE_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -74,13 +75,21 @@ enum class JoinMethod {
   kIndexNestedLoop,  // probe a base-table index per outer row
 };
 
-// Logical execution counters, cumulative until Reset(). Updated by the
-// calling thread only (never from scan workers), after each operator.
+// Logical execution counters, cumulative until Reset(). Updated by
+// each statement's coordinating thread (never from scan workers),
+// after each operator. Relaxed atomics: concurrent read-only
+// statements running under the engine's shared lock bump them from
+// several coordinator threads at once; individual counters stay exact,
+// cross-counter consistency is best-effort.
 struct ExecStats {
-  int64_t rows_scanned = 0;   // rows examined by scans and probes
-  int64_t index_probes = 0;   // point lookups into table indexes
-  int64_t pages_read = 0;     // modeled 8 KiB page touches
-  void Reset() { rows_scanned = index_probes = pages_read = 0; }
+  std::atomic<int64_t> rows_scanned{0};  // rows examined by scans and probes
+  std::atomic<int64_t> index_probes{0};  // point lookups into table indexes
+  std::atomic<int64_t> pages_read{0};    // modeled 8 KiB page touches
+  void Reset() {
+    rows_scanned = 0;
+    index_probes = 0;
+    pages_read = 0;
+  }
 };
 
 class Executor {

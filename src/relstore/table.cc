@@ -79,8 +79,11 @@ Status Table::BuildIndex(const std::string& column, IntIndex* index) {
 const std::vector<uint32_t>* Table::LookupInt(const std::string& column, int64_t key) {
   auto it = indexes_.find(column);
   if (it == indexes_.end()) return nullptr;
-  if (!it->second.built) {
-    if (!BuildIndex(column, &it->second).ok()) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    if (!it->second.built) {
+      if (!BuildIndex(column, &it->second).ok()) return nullptr;
+    }
   }
   auto hit = it->second.map.find(key);
   if (hit == it->second.map.end()) {
@@ -92,8 +95,9 @@ const std::vector<uint32_t>* Table::LookupInt(const std::string& column, int64_t
 
 const Table::IntIndexMap* Table::BuiltIndex(const std::string& column) const {
   auto it = indexes_.find(column);
-  if (it == indexes_.end() || !it->second.built) return nullptr;
-  return &it->second.map;
+  if (it == indexes_.end()) return nullptr;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return it->second.built ? &it->second.map : nullptr;
 }
 
 Status Table::EnsureIndex(const std::string& column) {
@@ -101,6 +105,7 @@ Status Table::EnsureIndex(const std::string& column) {
   if (it == indexes_.end()) {
     return Status::NotFound("no index declared on " + column + " in " + name_);
   }
+  std::lock_guard<std::mutex> lock(index_mu_);
   if (!it->second.built) {
     ORPHEUS_RETURN_NOT_OK(BuildIndex(column, &it->second));
   }
@@ -108,6 +113,7 @@ Status Table::EnsureIndex(const std::string& column) {
 }
 
 void Table::InvalidateIndexes() {
+  std::lock_guard<std::mutex> lock(index_mu_);
   for (auto& [name, index] : indexes_) {
     index.built = false;
     index.map.clear();

@@ -12,19 +12,23 @@
 // This matches the access pattern of OrpheusDB (bulk commit, then many
 // checkouts).
 //
-// Thread-safety: Table is not internally synchronized. The engine's
-// discipline is single-writer: all DML/DDL and index (re)builds happen
-// on a statement's coordinating thread. Scan workers only ever read —
-// chunk()/data(), and index postings via BuiltIndex after the
-// coordinator ran EnsureIndex (see the member comments). Anything
-// non-const (mutable_chunk, LookupInt's lazy rebuild, ClusterBy)
-// belongs to the coordinator exclusively.
+// Thread-safety: the payload is not internally synchronized — the
+// engine's discipline is single-writer: all DML/DDL happens under the
+// engine's exclusive lock, and scan workers only ever read
+// chunk()/data(). The one mutation a READ statement can perform — the
+// lazy index (re)build in EnsureIndex/LookupInt — is serialized by an
+// internal mutex, so concurrent read-only statements (which share the
+// engine lock) may race to build the same index safely: one builds,
+// the others wait and reuse it. Index postings handed out by
+// BuiltIndex stay immutable until the next DML, which cannot overlap
+// a reader by the engine-lock contract.
 
 #ifndef ORPHEUS_RELSTORE_TABLE_H_
 #define ORPHEUS_RELSTORE_TABLE_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -130,7 +134,12 @@ class Table {
     IntIndexMap map;
   };
 
+  // Caller must hold index_mu_.
   Status BuildIndex(const std::string& column, IntIndex* index);
+
+  // Serializes lazy index builds against each other (concurrent
+  // read-only statements); see the class comment.
+  mutable std::mutex index_mu_;
 
   std::string name_;
   Chunk chunk_;

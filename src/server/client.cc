@@ -1,0 +1,56 @@
+#include "server/client.h"
+
+#include <string_view>
+
+#include "server/protocol.h"
+
+namespace orpheus::server {
+
+Client::~Client() { Disconnect(); }
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return Status::InvalidArgument("client already connected");
+  ORPHEUS_ASSIGN_OR_RETURN(fd_, ConnectTcp(host, port));
+  Result<std::string> hello = ReadFrame(fd_);
+  if (!hello.ok()) {
+    Disconnect();
+    return hello.status();
+  }
+  if (hello.value().rfind(kHelloPrefix, 0) != 0) {
+    Disconnect();
+    return Status::Internal("not an orpheus server: bad hello frame");
+  }
+  hello_ = hello.value();
+  closed_ = false;
+  return Status::OK();
+}
+
+Result<std::string> Client::Execute(const std::string& line) {
+  if (fd_ < 0 || closed_) {
+    return Status::Unavailable("not connected");
+  }
+  Status write_st = WriteFrame(fd_, line);
+  if (!write_st.ok()) {
+    closed_ = true;
+    return write_st;
+  }
+  Result<std::string> payload = ReadFrame(fd_);
+  if (!payload.ok()) {
+    closed_ = true;
+    return payload.status();
+  }
+  ORPHEUS_ASSIGN_OR_RETURN(Response response, DecodeResponse(payload.value()));
+  if (response.closed) closed_ = true;
+  if (!response.status.ok()) return response.status;
+  return std::move(response.text);
+}
+
+void Client::Disconnect() {
+  if (fd_ >= 0) {
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+  closed_ = true;
+}
+
+}  // namespace orpheus::server

@@ -1,0 +1,51 @@
+// Client: a blocking connection to an OrpheusDB server. One command
+// line per Execute() call — the same lines the local CLI accepts — and
+// the server's display output (or error Status) back.
+//
+// The CLI's --connect mode is built on this; tests use it to drive
+// multiple concurrent sessions against one server.
+
+#ifndef ORPHEUS_SERVER_CLIENT_H_
+#define ORPHEUS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace orpheus::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects and reads the server's hello frame ("ORPHEUS/1 ...").
+  Status Connect(const std::string& host, uint16_t port);
+
+  // Sends one command line, returns the display output. A non-OK
+  // command outcome comes back as that Status (the connection stays
+  // usable unless closed() flips).
+  Result<std::string> Execute(const std::string& line);
+
+  // True once the server has ended the session (`exit`, shutdown,
+  // or a transport error).
+  bool closed() const { return closed_; }
+
+  // The hello frame received on connect (e.g. "ORPHEUS/1 session 3").
+  const std::string& hello() const { return hello_; }
+
+  void Disconnect();
+
+ private:
+  int fd_ = -1;
+  bool closed_ = true;
+  std::string hello_;
+};
+
+}  // namespace orpheus::server
+
+#endif  // ORPHEUS_SERVER_CLIENT_H_

@@ -1,0 +1,126 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace orpheus::server {
+
+namespace {
+
+// Handler tick: how often a blocked handler re-checks the stop flag
+// and its idle deadline.
+constexpr int kPollMs = 100;
+
+}  // namespace
+
+Server::Server(core::EngineApi* api, ServerOptions options)
+    : api_(api), options_(options), sessions_(api) {
+  options_.workers = std::max(1, options_.workers);
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) return Status::InvalidArgument("server already started");
+  ORPHEUS_ASSIGN_OR_RETURN(listen_fd_, ListenLoopback(options_.port));
+  auto port = BoundPort(listen_fd_);
+  if (!port.ok()) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = port.value();
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller: the first one is (or was) tearing down; just make
+    // sure the acceptor is joined before returning.
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // Wakes the acceptor out of accept() with an error.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    // Nudge handlers blocked in poll/read: a shutdown() makes their
+    // next read return 0 and the handler exits its loop.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  pool_.reset();  // drains queued handlers, joins workers
+  sessions_.CloseAll();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      continue;  // EINTR / transient accept failure
+    }
+    int on = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.insert(fd);
+    }
+    pool_->Post([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::shared_ptr<core::SessionContext> session = sessions_.Create();
+  std::string hello = std::string(kHelloPrefix) + " session " +
+                      std::to_string(session->id());
+  bool alive = WriteFrame(fd, hello).ok();
+
+  while (alive && !stopping_.load(std::memory_order_acquire)) {
+    // Wait for a request with a short tick so shutdown and the idle
+    // deadline are noticed while the client is quiet.
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0) break;
+    if (ready == 0) {
+      if (options_.idle_timeout_sec > 0 &&
+          session->IdleSeconds() > options_.idle_timeout_sec) {
+        break;  // idle session: close without a response frame
+      }
+      continue;
+    }
+    Result<std::string> request = ReadFrame(fd);
+    if (!request.ok()) break;  // EOF or protocol violation
+
+    Result<std::string> result = api_->Execute(session.get(), request.value());
+    bool closed = session->exited();
+    Status write_st =
+        result.ok() ? WriteFrame(fd, EncodeResponse(Status::OK(), closed,
+                                                    result.value()))
+                    : WriteFrame(fd, EncodeResponse(result.status(), closed,
+                                                    std::string_view()));
+    alive = write_st.ok() && !closed;
+  }
+
+  sessions_.Close(session->id());
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
+  CloseFd(fd);
+}
+
+}  // namespace orpheus::server

@@ -1,0 +1,52 @@
+// SessionManager: the server's registry of live sessions. One session
+// per client connection; the manager creates the SessionContext
+// (through EngineApi, which owns id assignment), hands it to the
+// connection handler, and tears it down on close — releasing the
+// session's snapshot pins and discarding its staged tables so an
+// abandoned checkout can't leak into the shared engine.
+//
+// Idle timeout: each connection handler enforces its own deadline
+// (poll + SessionContext::IdleSeconds); the manager just exposes the
+// configured limit and the bookkeeping. Thread-safe throughout.
+
+#ifndef ORPHEUS_SERVER_SESSION_MANAGER_H_
+#define ORPHEUS_SERVER_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/engine_api.h"
+
+namespace orpheus::server {
+
+class SessionManager {
+ public:
+  explicit SessionManager(core::EngineApi* api) : api_(api) {}
+
+  // Registers a new session.
+  std::shared_ptr<core::SessionContext> Create();
+
+  // Ends one session: unpins everything it pinned and discards its
+  // staged tables (logged when durable). No-op for unknown ids.
+  void Close(uint64_t id);
+
+  // Ends every live session (server shutdown).
+  void CloseAll();
+
+  size_t active() const;
+
+  // Snapshot of the live sessions (introspection, tests).
+  std::vector<std::shared_ptr<core::SessionContext>> Sessions() const;
+
+ private:
+  core::EngineApi* api_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<core::SessionContext>> sessions_;
+};
+
+}  // namespace orpheus::server
+
+#endif  // ORPHEUS_SERVER_SESSION_MANAGER_H_

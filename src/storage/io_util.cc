@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -192,6 +193,27 @@ Status TruncateFile(const std::string& path, int64_t size) {
     return Errno("truncate", path);
   }
   return Status::OK();
+}
+
+Result<int> AcquireLockFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0666);
+  if (fd < 0) return Errno("open", path);
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    int saved = errno;
+    ::close(fd);
+    if (saved == EWOULDBLOCK || saved == EAGAIN) {
+      return Status::Unavailable("database directory is locked by another "
+                                 "process (lock file " + path + ")");
+    }
+    errno = saved;
+    return Errno("flock", path);
+  }
+  return fd;
+}
+
+void ReleaseLockFile(int fd) {
+  // close() drops the flock held through this open file description.
+  if (fd >= 0) ::close(fd);
 }
 
 Result<std::string> MakeTempDir(const std::string& prefix) {

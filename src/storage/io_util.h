@@ -169,6 +169,15 @@ Status WriteFileAtomic(const std::string& path, std::string_view data);
 // Truncates a file to `size` bytes (used to discard a torn WAL tail).
 Status TruncateFile(const std::string& path, int64_t size);
 
+// Advisory single-writer lock over a database directory: opens
+// (creating if needed) `path` and takes a non-blocking exclusive
+// flock(2) on it, returning the holding fd. Status::Unavailable when
+// another holder — another process, or another open in this one — has
+// it. The lock lives with the fd: ReleaseLockFile (or process exit,
+// even by crash) releases it, so no stale-lockfile cleanup is needed.
+Result<int> AcquireLockFile(const std::string& path);
+void ReleaseLockFile(int fd);
+
 // Creates a fresh temporary directory (mkdtemp) — tests and benches.
 Result<std::string> MakeTempDir(const std::string& prefix);
 

@@ -33,8 +33,20 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
     const std::string& dir, core::OrpheusDB* db) {
   ORPHEUS_RETURN_NOT_OK(CreateDirectories(dir));
   std::unique_ptr<StorageManager> manager(new StorageManager(dir, db));
+  // Single-writer guard: hold <dir>/LOCK for the manager's lifetime so
+  // a second engine (same or another process) gets a clean refusal
+  // instead of two WAL appenders interleaving frames.
+  ORPHEUS_ASSIGN_OR_RETURN(manager->lock_fd_, AcquireLockFile(LockPath(dir)));
   ORPHEUS_RETURN_NOT_OK(manager->Recover());
   return manager;
+}
+
+StorageManager::~StorageManager() { ReleaseLockFile(lock_fd_); }
+
+void StorageManager::SetAutoCheckpointPolicy(uint64_t max_wal_bytes,
+                                             uint64_t max_wal_records) {
+  max_wal_bytes_ = max_wal_bytes;
+  max_wal_records_ = max_wal_records;
 }
 
 Status StorageManager::SaveSnapshotTo(core::OrpheusDB* db,
@@ -59,6 +71,7 @@ Status StorageManager::Recover() {
   }
 
   uint64_t max_lsn = snapshot_lsn;
+  uint64_t replayed_records = 0;
   const std::string wal_path = WalPath(dir_);
   if (FileExists(wal_path)) {
     ORPHEUS_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(wal_path));
@@ -74,6 +87,7 @@ Status StorageManager::Recover() {
             "): " + st.ToString());
       }
       max_lsn = record.lsn;
+      ++replayed_records;
     }
     // Anything past the well-formed prefix is a torn or corrupt tail;
     // discard it so the appender continues at a clean frame boundary.
@@ -81,7 +95,19 @@ Status StorageManager::Recover() {
       ORPHEUS_RETURN_NOT_OK(TruncateFile(wal_path, valid_bytes));
     }
   }
-  ORPHEUS_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path, max_lsn + 1));
+  ORPHEUS_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Open(wal_path, max_lsn + 1, replayed_records));
+  return Status::OK();
+}
+
+Status StorageManager::AppendChecked(WalRecordType type,
+                                     std::string_view body) {
+  ORPHEUS_RETURN_NOT_OK(wal_->Append(type, body));
+  bool over_bytes = max_wal_bytes_ > 0 && wal_->file_bytes() > max_wal_bytes_;
+  bool over_records = max_wal_records_ > 0 && wal_->records() > max_wal_records_;
+  if (over_bytes || over_records) {
+    return Checkpoint();
+  }
   return Status::OK();
 }
 
@@ -96,13 +122,13 @@ Status StorageManager::Checkpoint() {
 Status StorageManager::LogCreateUser(const std::string& name) {
   BinaryWriter body;
   body.PutString(name);
-  return wal_->Append(WalRecordType::kCreateUser, body.data());
+  return AppendChecked(WalRecordType::kCreateUser, body.data());
 }
 
 Status StorageManager::LogLogin(const std::string& name) {
   BinaryWriter body;
   body.PutString(name);
-  return wal_->Append(WalRecordType::kLogin, body.data());
+  return AppendChecked(WalRecordType::kLogin, body.data());
 }
 
 Status StorageManager::LogInitCvd(const std::string& name,
@@ -115,7 +141,7 @@ Status StorageManager::LogInitCvd(const std::string& name,
   EncodeStringVec(options.primary_key, &body);
   body.PutString(message);
   EncodeChunk(rows, &body);
-  return wal_->Append(WalRecordType::kInitCvd, body.data());
+  return AppendChecked(WalRecordType::kInitCvd, body.data());
 }
 
 Status StorageManager::LogCheckout(const std::string& cvd_name,
@@ -125,7 +151,7 @@ Status StorageManager::LogCheckout(const std::string& cvd_name,
   body.PutString(cvd_name);
   EncodeI64Vec(vids, &body);
   body.PutString(table_name);
-  return wal_->Append(WalRecordType::kCheckout, body.data());
+  return AppendChecked(WalRecordType::kCheckout, body.data());
 }
 
 std::string StorageManager::EncodeCommitBody(const std::string& cvd_name,
@@ -141,7 +167,7 @@ std::string StorageManager::EncodeCommitBody(const std::string& cvd_name,
 }
 
 Status StorageManager::AppendCommitBody(const std::string& body) {
-  return wal_->Append(WalRecordType::kCommit, body);
+  return AppendChecked(WalRecordType::kCommit, body);
 }
 
 Status StorageManager::LogDiscardStaged(const std::string& cvd_name,
@@ -149,13 +175,13 @@ Status StorageManager::LogDiscardStaged(const std::string& cvd_name,
   BinaryWriter body;
   body.PutString(cvd_name);
   body.PutString(table_name);
-  return wal_->Append(WalRecordType::kDiscardStaged, body.data());
+  return AppendChecked(WalRecordType::kDiscardStaged, body.data());
 }
 
 Status StorageManager::LogDropCvd(const std::string& cvd_name) {
   BinaryWriter body;
   body.PutString(cvd_name);
-  return wal_->Append(WalRecordType::kDropCvd, body.data());
+  return AppendChecked(WalRecordType::kDropCvd, body.data());
 }
 
 Status StorageManager::LogRepartition(
@@ -165,7 +191,7 @@ Status StorageManager::LogRepartition(
   body.PutString(cvd_name);
   body.PutU32(static_cast<uint32_t>(groups.size()));
   for (const std::vector<VersionId>& group : groups) EncodeI64Vec(group, &body);
-  return wal_->Append(WalRecordType::kRepartition, body.data());
+  return AppendChecked(WalRecordType::kRepartition, body.data());
 }
 
 // --- Replay -------------------------------------------------------------

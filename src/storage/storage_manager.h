@@ -3,6 +3,7 @@
 //
 //   <dir>/snapshot.orph   latest full snapshot (see snapshot.h)
 //   <dir>/wal.log         commit WAL since that snapshot (see wal.h)
+//   <dir>/LOCK            flock(2)-held single-writer guard
 //
 // Open() recovers: restore the snapshot (if any), replay every WAL
 // record past the snapshot's LSN watermark, truncate any torn tail,
@@ -50,15 +51,27 @@ class StorageManager {
     return dir + "/snapshot.orph";
   }
   static std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+  static std::string LockPath(const std::string& dir) { return dir + "/LOCK"; }
 
   StorageManager(const StorageManager&) = delete;
   StorageManager& operator=(const StorageManager&) = delete;
 
+  ~StorageManager();  // releases the directory LOCK
+
   // Fresh snapshot (temp file + atomic rename), then WAL truncation.
   Status Checkpoint();
 
+  // Automatic checkpointing: once the WAL since the last checkpoint
+  // exceeds `max_wal_bytes` bytes or `max_wal_records` records
+  // (0 = no bound), the next logged verb triggers a Checkpoint().
+  // Default: 64 MiB, unbounded records.
+  void SetAutoCheckpointPolicy(uint64_t max_wal_bytes,
+                               uint64_t max_wal_records);
+
   const std::string& dir() const { return dir_; }
   uint64_t next_lsn() const { return wal_->next_lsn(); }
+  uint64_t wal_bytes() const { return wal_->file_bytes(); }
+  uint64_t wal_records() const { return wal_->records(); }
 
   // Benches may trade per-record fdatasync for throughput.
   void set_fsync(bool on) { wal_->set_fsync(on); }
@@ -93,9 +106,19 @@ class StorageManager {
   Status Recover();
   Status ApplyRecord(const WalRecord& record);
 
+  // Appends one record, then folds the WAL into a fresh snapshot if
+  // the policy's bounds are exceeded. Appenders call through here so
+  // every logged verb is a potential checkpoint trigger — the engine
+  // has fully applied the verb in memory by the time it logs, so the
+  // snapshot is consistent.
+  Status AppendChecked(WalRecordType type, std::string_view body);
+
   std::string dir_;
   core::OrpheusDB* db_;
   std::unique_ptr<WalWriter> wal_;
+  int lock_fd_ = -1;
+  uint64_t max_wal_bytes_ = 64ull << 20;
+  uint64_t max_wal_records_ = 0;
 };
 
 }  // namespace orpheus::storage

@@ -46,13 +46,21 @@ std::vector<WalRecord> ParseWal(std::string_view data, uint64_t after_lsn,
 }
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
-                                                   uint64_t next_lsn) {
+                                                   uint64_t next_lsn,
+                                                   uint64_t initial_records) {
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
   if (fd < 0) {
     return Status::Internal("cannot open WAL " + path + ": " +
                             std::strerror(errno));
   }
-  return std::unique_ptr<WalWriter>(new WalWriter(path, fd, next_lsn));
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::Internal("cannot size WAL " + path + ": " +
+                            std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(
+      path, fd, next_lsn, static_cast<uint64_t>(size), initial_records));
 }
 
 WalWriter::~WalWriter() {
@@ -87,6 +95,8 @@ Status WalWriter::Append(WalRecordType type, std::string_view body) {
                             std::strerror(errno));
   }
   ++next_lsn_;
+  file_bytes_ += bytes.size();
+  ++records_;
   return Status::OK();
 }
 
@@ -99,6 +109,8 @@ Status WalWriter::Reset() {
     return Status::Internal("WAL fdatasync failed for " + path_ + ": " +
                             std::strerror(errno));
   }
+  file_bytes_ = 0;
+  records_ = 0;
   return Status::OK();
 }
 

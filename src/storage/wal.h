@@ -59,9 +59,12 @@ std::vector<WalRecord> ParseWal(std::string_view data, uint64_t after_lsn,
 class WalWriter {
  public:
   // Opens `path` for appending (creating it if needed). `next_lsn` is
-  // the LSN the next record gets (replayers pass last-seen + 1).
+  // the LSN the next record gets (replayers pass last-seen + 1);
+  // `initial_records` seeds the record counter with the live records
+  // already in the file (replayers pass how many they applied).
   static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
-                                                 uint64_t next_lsn);
+                                                 uint64_t next_lsn,
+                                                 uint64_t initial_records = 0);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -76,17 +79,29 @@ class WalWriter {
 
   uint64_t next_lsn() const { return next_lsn_; }
 
+  // Log growth since the last Reset — the auto-checkpoint policy's
+  // inputs (storage_manager.h).
+  uint64_t file_bytes() const { return file_bytes_; }
+  uint64_t records() const { return records_; }
+
   // Benches may trade durability for throughput; records still reach
   // the OS page cache on every append.
   void set_fsync(bool on) { fsync_ = on; }
 
  private:
-  WalWriter(std::string path, int fd, uint64_t next_lsn)
-      : path_(std::move(path)), fd_(fd), next_lsn_(next_lsn) {}
+  WalWriter(std::string path, int fd, uint64_t next_lsn, uint64_t file_bytes,
+            uint64_t records)
+      : path_(std::move(path)),
+        fd_(fd),
+        next_lsn_(next_lsn),
+        file_bytes_(file_bytes),
+        records_(records) {}
 
   std::string path_;
   int fd_;
   uint64_t next_lsn_;
+  uint64_t file_bytes_;
+  uint64_t records_;
   bool fsync_ = true;
 };
 

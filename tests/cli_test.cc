@@ -8,7 +8,7 @@
 #include <fstream>
 
 #include "cli/command_processor.h"
-#include "cli/csv.h"
+#include "common/csv.h"
 
 namespace orpheus::cli {
 namespace {
@@ -174,6 +174,30 @@ TEST_F(CliTest, ErrorsSurfaceCleanly) {
 TEST_F(CliTest, ExitSetsFlag) {
   Must("exit");
   EXPECT_TRUE(processor_.exited());
+}
+
+TEST_F(CliTest, DiscardDropsStagedTable) {
+  Must("init protein -f " + csv_path_ + " -pk protein1,protein2");
+  Must("checkout protein -v 1 -t w");
+  EXPECT_EQ(Must("discard -t w"), "discarded staged table w");
+  // The table is gone: committing it now is a clean error.
+  EXPECT_FALSE(processor_.Execute("commit -t w -m x").ok());
+  EXPECT_FALSE(processor_.Execute("discard -t w").ok());
+}
+
+TEST_F(CliTest, PinUnpinAndPinsVerbs) {
+  Must("init protein -f " + csv_path_ + " -pk protein1,protein2");
+  EXPECT_EQ(Must("pins"), "(no pins)");
+  EXPECT_NE(Must("pin protein").find("pinned protein at version 1"),
+            std::string::npos);
+  EXPECT_NE(Must("pins").find("protein v1"), std::string::npos);
+  EXPECT_EQ(Must("unpin protein"), "unpinned protein");
+  EXPECT_EQ(Must("pins"), "(no pins)");
+  EXPECT_FALSE(processor_.Execute("unpin protein").ok());
+  EXPECT_FALSE(processor_.Execute("pin protein -v 42").ok());
+  // The CLI's own session may drop what only it has pinned.
+  Must("pin protein");
+  EXPECT_EQ(Must("drop protein"), "dropped protein");
 }
 
 }  // namespace

@@ -364,14 +364,21 @@ TEST(Persistence, WalReplayRestoresCommitsExactly) {
     ref = Capture(&db);
   }
   ASSERT_FALSE(storage::FileExists(SnapPath(dir.path())));  // WAL only
-  OrpheusDB recovered;
-  ASSERT_TRUE(recovered.Open(dir.path()).ok());
-  ExpectEngineEquals(ref, &recovered, "wal replay");
-  // And the recovered engine keeps logging: another commit survives a
-  // second reopen.
-  ASSERT_TRUE(recovered.Checkout("t", {2}, "w2").ok());
-  ASSERT_EQ(3, recovered.Commit("t", "w2", "post-recovery").ValueOrDie());
-  EngineRef ref2 = Capture(&recovered);
+  EngineRef ref2;
+  {
+    OrpheusDB recovered;
+    ASSERT_TRUE(recovered.Open(dir.path()).ok());
+    ExpectEngineEquals(ref, &recovered, "wal replay");
+    // While this engine lives it holds the directory LOCK: a second
+    // open must be refused cleanly, not corrupt the WAL.
+    OrpheusDB contender;
+    EXPECT_FALSE(contender.Open(dir.path()).ok());
+    // And the recovered engine keeps logging: another commit survives
+    // a second reopen (after this engine closes and drops the LOCK).
+    ASSERT_TRUE(recovered.Checkout("t", {2}, "w2").ok());
+    ASSERT_EQ(3, recovered.Commit("t", "w2", "post-recovery").ValueOrDie());
+    ref2 = Capture(&recovered);
+  }
   OrpheusDB recovered2;
   ASSERT_TRUE(recovered2.Open(dir.path()).ok());
   ExpectEngineEquals(ref2, &recovered2, "second recovery");
@@ -545,15 +552,17 @@ TEST(Persistence, TornWalTailAtEveryByteOfLastRecord) {
     std::string clone = probe.Sub("db");
     CloneDbDir(dir.path(), clone);
     ASSERT_TRUE(storage::TruncateFile(WalPath(clone), cut).ok());
-    OrpheusDB recovered;
-    ASSERT_TRUE(recovered.Open(clone).ok()) << "cut at " << cut;
-    ExpectEngineEquals(expect_torn, &recovered,
-                       "cut at " + std::to_string(cut));
-    // The torn tail was discarded on open, so new appends land on a
-    // clean boundary and a re-open still works.
-    EXPECT_LE(storage::FileSize(WalPath(clone)).ValueOrDie(),
-              static_cast<int64_t>(cut));
-    ASSERT_TRUE(recovered.Checkout("t", {2}, "fresh").ok());
+    {
+      OrpheusDB recovered;
+      ASSERT_TRUE(recovered.Open(clone).ok()) << "cut at " << cut;
+      ExpectEngineEquals(expect_torn, &recovered,
+                         "cut at " + std::to_string(cut));
+      // The torn tail was discarded on open, so new appends land on a
+      // clean boundary and a re-open still works.
+      EXPECT_LE(storage::FileSize(WalPath(clone)).ValueOrDie(),
+                static_cast<int64_t>(cut));
+      ASSERT_TRUE(recovered.Checkout("t", {2}, "fresh").ok());
+    }
     OrpheusDB reopened;
     ASSERT_TRUE(reopened.Open(clone).ok()) << "reopen after cut " << cut;
   }
@@ -776,6 +785,118 @@ TEST(Persistence, SaveIntoOpenDirectoryIsRejected) {
   EXPECT_NE(std::string::npos, st2.message().find("Checkpoint"));
   // A genuinely different directory still works.
   EXPECT_TRUE(db.SaveSnapshot(dir.Sub("elsewhere")).ok());
+}
+
+// --- Directory LOCK ------------------------------------------------------
+
+TEST(Persistence, LockFileRefusesSecondOpenCleanly) {
+  TempDir dir;
+  OrpheusDB first;
+  ASSERT_TRUE(first.Open(dir.path()).ok());
+  EXPECT_TRUE(storage::FileExists(dir.path() + "/LOCK"));
+
+  // Second engine on the same directory: clean Unavailable, no crash,
+  // and the holder is named in the message.
+  OrpheusDB second;
+  Status st = second.Open(dir.path());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, st.code());
+  EXPECT_NE(std::string::npos, st.message().find("locked"));
+  // The refused engine stays fresh and can open elsewhere.
+  ASSERT_TRUE(second.Open(dir.Sub("other")).ok());
+}
+
+TEST(Persistence, LockFileReleasedOnClose) {
+  TempDir dir;
+  {
+    OrpheusDB db;
+    ASSERT_TRUE(db.Open(dir.path()).ok());
+  }
+  // The LOCK file remains on disk (flock, not existence, is the
+  // guard), but the lock itself died with the holder.
+  EXPECT_TRUE(storage::FileExists(dir.path() + "/LOCK"));
+  OrpheusDB next;
+  EXPECT_TRUE(next.Open(dir.path()).ok());
+}
+
+TEST(Persistence, RawStorageManagerRespectsLock) {
+  TempDir dir;
+  OrpheusDB holder;
+  ASSERT_TRUE(holder.Open(dir.path()).ok());
+  OrpheusDB probe;
+  auto second = storage::StorageManager::Open(dir.path(), &probe);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, second.status().code());
+}
+
+// --- Automatic checkpointing ---------------------------------------------
+
+TEST(Persistence, AutoCheckpointTriggersOnWalBytes) {
+  TempDir dir;
+  EngineRef ref;
+  {
+    OrpheusDB db;
+    ASSERT_TRUE(db.Open(dir.path()).ok());
+    // Tiny byte bound: every logged verb beyond the first handful
+    // folds the WAL into a snapshot.
+    db.storage()->SetAutoCheckpointPolicy(/*max_wal_bytes=*/256,
+                                          /*max_wal_records=*/0);
+    CvdOptions options;
+    options.primary_key = {"k"};
+    ASSERT_TRUE(db.InitCvd("t", SampleRows(6), options, "init").ok());
+    for (int i = 0; i < 4; ++i) {
+      std::string w = "w" + std::to_string(i);
+      ASSERT_TRUE(db.Checkout("t", {1}, w).ok());
+      ASSERT_TRUE(db.Commit("t", w, "round").ok());
+    }
+    EXPECT_TRUE(storage::FileExists(SnapPath(dir.path())));
+    EXPECT_LE(db.storage()->wal_bytes(), 256u + 1024u);
+    ref = Capture(&db);
+  }
+  // Snapshot + residual WAL recover the exact state.
+  OrpheusDB recovered;
+  ASSERT_TRUE(recovered.Open(dir.path()).ok());
+  ExpectEngineEquals(ref, &recovered, "auto-checkpoint recovery");
+}
+
+TEST(Persistence, AutoCheckpointTriggersOnRecordCount) {
+  TempDir dir;
+  OrpheusDB db;
+  ASSERT_TRUE(db.Open(dir.path()).ok());
+  db.storage()->SetAutoCheckpointPolicy(/*max_wal_bytes=*/0,
+                                        /*max_wal_records=*/3);
+  CvdOptions options;
+  options.primary_key = {"k"};
+  ASSERT_TRUE(db.InitCvd("t", SampleRows(4), options, "init").ok());  // 1
+  ASSERT_TRUE(db.Checkout("t", {1}, "w").ok());                       // 2
+  ASSERT_TRUE(db.Commit("t", "w", "c1").ok());                        // 3
+  EXPECT_FALSE(storage::FileExists(SnapPath(dir.path())));
+  ASSERT_TRUE(db.Checkout("t", {1}, "w2").ok());  // 4th record: trips
+  EXPECT_TRUE(storage::FileExists(SnapPath(dir.path())));
+  EXPECT_EQ(0u, db.storage()->wal_records());
+}
+
+TEST(Persistence, AutoCheckpointCountsSurviveReopen) {
+  TempDir dir;
+  {
+    OrpheusDB db;
+    ASSERT_TRUE(db.Open(dir.path()).ok());
+    CvdOptions options;
+    options.primary_key = {"k"};
+    ASSERT_TRUE(db.InitCvd("t", SampleRows(4), options, "init").ok());
+    ASSERT_TRUE(db.Checkout("t", {1}, "w").ok());
+    EXPECT_EQ(2u, db.storage()->wal_records());
+  }
+  OrpheusDB db;
+  ASSERT_TRUE(db.Open(dir.path()).ok());
+  // The reopened writer knows how much live WAL it sits on, so the
+  // policy keeps working across restarts.
+  EXPECT_EQ(2u, db.storage()->wal_records());
+  EXPECT_GT(db.storage()->wal_bytes(), 0u);
+  db.storage()->SetAutoCheckpointPolicy(0, 2);
+  ASSERT_TRUE(db.Checkout("t", {1}, "w2").ok());
+  EXPECT_EQ(0u, db.storage()->wal_records());  // tripped and reset
+  EXPECT_TRUE(storage::FileExists(SnapPath(dir.path())));
 }
 
 }  // namespace
