@@ -25,6 +25,11 @@
 // once the WAL grows past either bound, the next logged verb folds it
 // into a fresh snapshot.
 //
+// --group-commit={on,off} (default on) controls WAL group commit:
+// concurrent mutating statements batch their log records into one
+// write + one fdatasync, led by the first waiter (docs/PERSISTENCE.md
+// §Group commit). "off" restores a private fdatasync per statement.
+//
 // --serve=<port> (0 = ephemeral; the bound port is printed) turns the
 // process into a loopback TCP server speaking the framed protocol of
 // docs/SERVER.md. --connect runs the same shell/script/-c front-ends
@@ -52,6 +57,23 @@ namespace {
 volatile std::sig_atomic_t g_shutdown = 0;
 
 void HandleSignal(int) { g_shutdown = 1; }
+
+// Parses --group-commit={on,off,true,false,1,0}; anything else is a
+// usage error reported by the caller via the false return.
+bool ParseGroupCommit(const orpheus::Flags& flags, bool* on) {
+  std::string text = flags.GetString("group-commit", "on");
+  if (text == "on" || text == "true" || text == "1" || text.empty()) {
+    *on = true;
+    return true;
+  }
+  if (text == "off" || text == "false" || text == "0") {
+    *on = false;
+    return true;
+  }
+  std::cerr << "error: --group-commit expects on or off, got '" << text
+            << "'\n";
+  return false;
+}
 
 // Runs one line against either a local processor or a remote client;
 // prints output / error like the shell always has.
@@ -100,6 +122,9 @@ int RunFrontEnd(Target* target, const std::vector<std::string>& args,
 
 int ServeMain(const orpheus::Flags& flags) {
   orpheus::core::EngineApi api;
+  bool group_commit = true;
+  if (!ParseGroupCommit(flags, &group_commit)) return 1;
+  api.set_group_commit(group_commit);
   std::string db_dir = flags.GetString("db", "");
   if (!db_dir.empty()) {
     orpheus::Status st = api.orpheus()->Open(db_dir);
@@ -176,6 +201,9 @@ int main(int argc, char** argv) {
   if (flags.Has("serve")) return ServeMain(flags);
 
   orpheus::cli::CommandProcessor processor;
+  bool group_commit = true;
+  if (!ParseGroupCommit(flags, &group_commit)) return 1;
+  processor.api()->set_group_commit(group_commit);
   std::string db_dir = flags.GetString("db", "");
   if (!db_dir.empty()) {
     orpheus::Status st = processor.orpheus()->Open(db_dir);

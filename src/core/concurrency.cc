@@ -129,6 +129,15 @@ std::map<std::string, SessionPin> SessionContext::Pins() const {
   return pins_;
 }
 
+void SessionContext::NoteDurableLsn(uint64_t lsn) {
+  // Monotonic max: a later statement can complete with a smaller LSN
+  // only if something is wrong upstream — never move backwards.
+  uint64_t seen = last_durable_lsn_.load(std::memory_order_relaxed);
+  while (lsn > seen && !last_durable_lsn_.compare_exchange_weak(
+                           seen, lsn, std::memory_order_acq_rel)) {
+  }
+}
+
 void SessionContext::Touch() {
   last_active_ms_.store(NowMs(), std::memory_order_release);
 }

@@ -9,9 +9,12 @@
 //    (SELECTs, ls, graph, diff, pin) run under the shared side and may
 //    overlap freely; every mutating verb (init/checkout/commit/
 //    discard/drop/optimize/DDL-SQL/checkpoint) takes the exclusive
-//    side, which also serializes the WAL appends behind it into a
-//    correct total order. The epoch is bumped once per successful
-//    exclusive statement.
+//    side. With group commit (the default on durable engines) the
+//    exclusive hold covers only the in-memory apply plus the WAL
+//    *enqueue* — enqueue order under the lock is what fixes the log's
+//    total order — while the write + fdatasync happen after release,
+//    batched across sessions by a group leader (storage_manager.h).
+//    The epoch is bumped once per successful exclusive statement.
 //
 //  * SnapshotRegistry — which sessions have pinned which CVD at which
 //    (version, epoch). Committed versions are immutable, so a reader
@@ -143,6 +146,15 @@ class SessionContext {
   void RemovePin(const std::string& cvd);
   std::map<std::string, SessionPin> Pins() const;
 
+  // --- Durability bookmark (group-commit bookkeeping) --------------
+  // Highest WAL LSN this session has waited durable. Monotonic per
+  // session (the group-commit stress test's per-session oracle), and
+  // the natural replication bookmark once WAL shipping lands.
+  void NoteDurableLsn(uint64_t lsn);
+  uint64_t last_durable_lsn() const {
+    return last_durable_lsn_.load(std::memory_order_acquire);
+  }
+
   // --- Activity clock (idle-timeout bookkeeping) -------------------
   void Touch();
   // Seconds since the last Touch().
@@ -153,6 +165,7 @@ class SessionContext {
   std::atomic<bool> exited_{false};
   std::atomic<int> staging_counter_{0};
   std::atomic<int64_t> last_active_ms_{0};
+  std::atomic<uint64_t> last_durable_lsn_{0};
 
   mutable std::mutex mu_;
   std::string user_ = "default";

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/data_model.h"
 #include "partition/lyresplit.h"
+#include "storage/storage_manager.h"
 
 namespace orpheus::core {
 
@@ -92,14 +93,28 @@ void EngineApi::CloseSession(SessionContext* session, bool discard_staged) {
   if (discard_staged) {
     std::map<std::string, std::string> staged = session->StagedTables();
     if (!staged.empty()) {
-      std::unique_lock<std::shared_mutex> lock(lock_.mu());
-      for (const auto& [table, cvd] : staged) {
-        // Best-effort: the table may already be gone (CVD dropped, or
-        // the staged table committed through the global fallback path).
-        (void)orpheus_.DiscardStaged(cvd, table);
-        session->RemoveStagedTable(table);
+      std::vector<storage::AppendTicket> tickets;
+      {
+        std::unique_lock<std::shared_mutex> lock(lock_.mu());
+        if (orpheus_.durable()) {
+          orpheus_.storage()->SetGroupCommit(group_commit_.load());
+        }
+        for (const auto& [table, cvd] : staged) {
+          // Best-effort: the table may already be gone (CVD dropped, or
+          // the staged table committed through the global fallback path).
+          (void)orpheus_.DiscardStaged(cvd, table);
+          session->RemoveStagedTable(table);
+        }
+        if (orpheus_.durable()) {
+          tickets = orpheus_.storage()->TakePendingTickets();
+        }
+        lock_.BumpEpoch();
       }
-      lock_.BumpEpoch();
+      // Best-effort durability for the discard records; disconnect
+      // cleanup has no caller to report an I/O error to.
+      if (!tickets.empty()) {
+        (void)orpheus_.storage()->WaitDurable(tickets);
+      }
     }
   }
   registry_.UnpinAll(session->id());
@@ -173,8 +188,20 @@ Result<std::string> EngineApi::Execute(SessionContext* session,
   }
 
   // --- Exclusive-lock (mutating) commands -----------------------------
-  std::unique_lock<std::shared_mutex> lock(lock_.mu());
-  Result<std::string> result = [&]() -> Result<std::string> {
+  // Group commit: the exclusive hold covers the in-memory apply plus
+  // the WAL *enqueue* only. Tickets for the records this statement
+  // enqueued are taken before the lock drops; the durable wait happens
+  // after, so other sessions' statements can join the commit group
+  // while this one blocks on the leader's single fdatasync.
+  std::vector<storage::AppendTicket> tickets;
+  uint64_t sync_head = 0;  // durable WAL head when group commit is off
+  Result<std::string> result = std::string();
+  {
+    std::unique_lock<std::shared_mutex> lock(lock_.mu());
+    if (orpheus_.durable()) {
+      orpheus_.storage()->SetGroupCommit(group_commit_.load());
+    }
+    result = [&]() -> Result<std::string> {
     if (cmd == "create_user") {
       if (args.size() < 2) return Status::InvalidArgument("create_user <name>");
       ORPHEUS_RETURN_NOT_OK(orpheus_.CreateUser(args[1]));
@@ -235,8 +262,30 @@ Result<std::string> EngineApi::Execute(SessionContext* session,
     if (cmd == "optimize") return Optimize(args);
     return Status::InvalidArgument("unknown command: " + cmd +
                                    " (try 'help')");
-  }();
-  if (result.ok()) lock_.BumpEpoch();
+    }();
+    if (orpheus_.durable()) {
+      tickets = orpheus_.storage()->TakePendingTickets();
+      // With group commit off the appenders already synced everything
+      // they wrote, so the current WAL head is durable — keep the
+      // session bookmark advancing identically in both modes.
+      if (tickets.empty() && result.ok() && !group_commit_.load()) {
+        sync_head = orpheus_.storage()->next_lsn() - 1;
+      }
+    }
+    if (result.ok()) lock_.BumpEpoch();
+  }
+  if (!tickets.empty()) {
+    Status durable = orpheus_.storage()->WaitDurable(tickets);
+    if (!durable.ok()) {
+      // The in-memory apply succeeded but the record never reached
+      // disk; surface the I/O error (the handler's message would claim
+      // durability the WAL can't back).
+      return result.ok() ? Result<std::string>(durable) : result;
+    }
+    session->NoteDurableLsn(tickets.back()->lsn);
+  } else if (sync_head > 0) {
+    session->NoteDurableLsn(sync_head);
+  }
   return result;
 }
 

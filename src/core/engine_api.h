@@ -14,8 +14,17 @@
 //    may overlap across sessions. Mutating commands (init, checkout,
 //    commit, discard, drop, optimize, create_user, config, threads,
 //    open, checkpoint, save, and any non-SELECT SQL) take the
-//    exclusive side; the WAL appends they perform while holding it
+//    exclusive side; the WAL records they produce while holding it
 //    form a correct total order.
+//  * Group commit (on by default, --group-commit=off to disable): on a
+//    durable engine the exclusive hold covers only the in-memory apply
+//    plus the WAL enqueue; Execute then releases the lock and blocks
+//    in StorageManager::WaitDurable until a group leader has batched
+//    the record — with the records of every other session that reached
+//    the write path meanwhile — into one write + one fdatasync. The
+//    durability point of a mutating statement is still "Execute
+//    returned OK"; what changed is that N concurrent commits cost ~1
+//    sync instead of N, because the sync happens outside the lock.
 //  * Committed versions are immutable, so a reader that pinned a
 //    version keeps observing exactly that version's records while
 //    writers commit — `pin <cvd>` records the (version, epoch) pair
@@ -69,6 +78,12 @@ class EngineApi {
   EngineLock* lock() { return &lock_; }
   SnapshotRegistry* registry() { return &registry_; }
 
+  // Group commit for the durable write path (see the class comment).
+  // Default on; the CLI/server --group-commit={on,off} flag sets it at
+  // startup. Takes effect at the next mutating statement.
+  void set_group_commit(bool on) { group_commit_.store(on); }
+  bool group_commit() const { return group_commit_.load(); }
+
  private:
   // Command handlers; called with the appropriate engine lock held.
   Result<std::string> Init(SessionContext* session,
@@ -96,6 +111,7 @@ class EngineApi {
   EngineLock lock_;
   SnapshotRegistry registry_;
   std::atomic<uint64_t> next_session_id_{1};
+  std::atomic<bool> group_commit_{true};
 };
 
 }  // namespace orpheus::core

@@ -7,10 +7,14 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace orpheus::storage {
@@ -214,6 +218,69 @@ Result<int> AcquireLockFile(const std::string& path) {
 void ReleaseLockFile(int fd) {
   // close() drops the flock held through this open file description.
   if (fd >= 0) ::close(fd);
+}
+
+namespace {
+
+// Fault-injection state. The plan is written only from test threads
+// while the write path is quiescent (Arm/Disarm contract), but the
+// counters race with concurrent WAL writers, so everything that the
+// hot path touches is atomic.
+std::atomic<bool> g_faults_armed{false};
+std::mutex g_fault_mu;           // guards g_fault_plan
+WalFaultPlan g_fault_plan;       // valid while g_faults_armed
+std::atomic<uint64_t> g_plan_writes{0};   // since last Arm
+std::atomic<uint64_t> g_plan_syncs{0};
+std::atomic<uint64_t> g_total_writes{0};  // since process start
+std::atomic<uint64_t> g_total_syncs{0};
+
+}  // namespace
+
+void ArmWalFaults(const WalFaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  g_fault_plan = plan;
+  g_plan_writes.store(0);
+  g_plan_syncs.store(0);
+  g_faults_armed.store(true, std::memory_order_release);
+}
+
+void DisarmWalFaults() {
+  g_faults_armed.store(false, std::memory_order_release);
+}
+
+uint64_t WalWritesIssued() { return g_total_writes.load(); }
+uint64_t WalSyncsIssued() { return g_total_syncs.load(); }
+
+bool NextWalWriteFails(int64_t* torn_bytes) {
+  g_total_writes.fetch_add(1);
+  *torn_bytes = -1;
+  if (!g_faults_armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  uint64_t n = g_plan_writes.fetch_add(1) + 1;
+  if (g_fault_plan.fail_write_at != 0 &&
+      n == static_cast<uint64_t>(g_fault_plan.fail_write_at)) {
+    *torn_bytes = g_fault_plan.torn_bytes;
+    return true;
+  }
+  return false;
+}
+
+bool NextWalSyncFails() {
+  g_total_syncs.fetch_add(1);
+  if (!g_faults_armed.load(std::memory_order_acquire)) return false;
+  int delay_ms = 0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(g_fault_mu);
+    delay_ms = g_fault_plan.sync_delay_ms;
+    uint64_t n = g_plan_syncs.fetch_add(1) + 1;
+    fail = g_fault_plan.fail_sync_at != 0 &&
+           n == static_cast<uint64_t>(g_fault_plan.fail_sync_at);
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return fail;
 }
 
 Result<std::string> MakeTempDir(const std::string& prefix) {

@@ -178,6 +178,48 @@ Status TruncateFile(const std::string& path, int64_t size);
 Result<int> AcquireLockFile(const std::string& path);
 void ReleaseLockFile(int fd);
 
+// --- Deterministic fault injection (durability tests) -------------------
+//
+// The crash-recovery tests must be able to kill the WAL write path at
+// exact syscall boundaries — the Nth write() or the Nth fdatasync()
+// inside a commit group — instead of hoping a real kill lands there.
+// WalWriter consults these hooks before every WAL write/sync; with no
+// plan armed (the default, and the only production state) they cost
+// one relaxed atomic load each and change nothing.
+
+struct WalFaultPlan {
+  // 1-based index of the WAL write() that fails (0 = never fail). When
+  // it fires, `torn_bytes` of the frame buffer are genuinely written
+  // first (clamped to the buffer; -1 = nothing reaches the file),
+  // modeling a torn tail exactly at that byte.
+  int fail_write_at = 0;
+  int64_t torn_bytes = -1;
+  // 1-based index of the WAL fdatasync() that fails (0 = never).
+  int fail_sync_at = 0;
+  // Sleep injected into every fdatasync (0 = none). Lets tests force
+  // commit groups to form deterministically: while the leader is stuck
+  // in "sync", concurrent committers pile into the next group.
+  int sync_delay_ms = 0;
+};
+
+// Arms `plan` and zeroes the per-plan syscall counters. Faults fire
+// once (the counters keep advancing past the trigger).
+void ArmWalFaults(const WalFaultPlan& plan);
+void DisarmWalFaults();
+
+// Process-wide totals of WAL write()/fdatasync() calls issued since
+// startup, counted whether or not a plan is armed — the sync-counter
+// assertions ("N concurrent commits cost < N syncs") diff these.
+uint64_t WalWritesIssued();
+uint64_t WalSyncsIssued();
+
+// Internal (WalWriter): advances the counters and reports whether the
+// armed plan says this write/sync must fail. `*torn_bytes` receives
+// how many bytes to really write before failing (-1 = none). The sync
+// hook also applies the injected delay.
+bool NextWalWriteFails(int64_t* torn_bytes);
+bool NextWalSyncFails();
+
 // Creates a fresh temporary directory (mkdtemp) — tests and benches.
 Result<std::string> MakeTempDir(const std::string& prefix);
 

@@ -41,7 +41,13 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
   return manager;
 }
 
-StorageManager::~StorageManager() { ReleaseLockFile(lock_fd_); }
+StorageManager::~StorageManager() {
+  // Clean shutdown drains whatever the last statements enqueued; a
+  // crash instead loses only records whose WaitDurable never returned
+  // OK, which is exactly the durability contract.
+  (void)FlushPending();
+  ReleaseLockFile(lock_fd_);
+}
 
 void StorageManager::SetAutoCheckpointPolicy(uint64_t max_wal_bytes,
                                              uint64_t max_wal_records) {
@@ -100,18 +106,130 @@ Status StorageManager::Recover() {
   return Status::OK();
 }
 
+// --- Group commit -------------------------------------------------------
+
+void StorageManager::SetGroupCommit(bool on) {
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    if (group_commit_ == on) return;
+  }
+  // Turning the mode off must not strand queued records: drain first,
+  // so the synchronous path resumes on a clean frame boundary.
+  if (!on) (void)FlushPending();
+  std::lock_guard<std::mutex> lock(group_mu_);
+  group_commit_ = on;
+}
+
+bool StorageManager::group_commit() const {
+  std::lock_guard<std::mutex> lock(group_mu_);
+  return group_commit_;
+}
+
+std::vector<AppendTicket> StorageManager::TakePendingTickets() {
+  std::lock_guard<std::mutex> lock(group_mu_);
+  return std::move(unclaimed_);
+}
+
+void StorageManager::LeadGroup(std::unique_lock<std::mutex>& lock) {
+  writer_active_ = true;
+  std::vector<AppendTicket> batch(queue_.begin(), queue_.end());
+  queue_.clear();
+  queued_bytes_ = 0;
+  lock.unlock();
+
+  // The expensive part — one write(), one fdatasync for the whole
+  // group — runs with no lock held: concurrent sessions keep applying
+  // and enqueueing the next group meanwhile.
+  std::vector<WalAppendEntry> entries;
+  entries.reserve(batch.size());
+  for (const AppendTicket& ticket : batch) {
+    entries.push_back({ticket->type, ticket->body});
+  }
+  uint64_t first_lsn = 0;
+  Status st = wal_->AppendBatch(entries.data(), entries.size(), &first_lsn);
+
+  lock.lock();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->status = st;
+    batch[i]->lsn = st.ok() ? first_lsn + i : 0;
+    batch[i]->done = true;
+  }
+  writer_active_ = false;
+  group_cv_.notify_all();
+}
+
+Status StorageManager::WaitDurable(const std::vector<AppendTicket>& tickets) {
+  Status first_error;
+  std::unique_lock<std::mutex> lock(group_mu_);
+  for (const AppendTicket& ticket : tickets) {
+    while (!ticket->done) {
+      if (!writer_active_ && !queue_.empty()) {
+        LeadGroup(lock);
+      } else {
+        group_cv_.wait(lock);
+      }
+    }
+    if (first_error.ok() && !ticket->status.ok()) {
+      first_error = ticket->status;
+    }
+  }
+  return first_error;
+}
+
+Status StorageManager::FlushPending() {
+  // A manager whose Open failed before the writer was armed (lock file
+  // contention, unrecoverable snapshot) has nothing to flush.
+  if (wal_ == nullptr) return Status::OK();
+  std::unique_lock<std::mutex> lock(group_mu_);
+  while (writer_active_ || !queue_.empty()) {
+    if (!writer_active_ && !queue_.empty()) {
+      LeadGroup(lock);
+    } else {
+      group_cv_.wait(lock);
+    }
+  }
+  return wal_->health();
+}
+
 Status StorageManager::AppendChecked(WalRecordType type,
                                      std::string_view body) {
-  ORPHEUS_RETURN_NOT_OK(wal_->Append(type, body));
-  bool over_bytes = max_wal_bytes_ > 0 && wal_->file_bytes() > max_wal_bytes_;
-  bool over_records = max_wal_records_ > 0 && wal_->records() > max_wal_records_;
+  bool over_bytes = false;
+  bool over_records = false;
+  bool grouped;
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    grouped = group_commit_;
+    if (grouped) {
+      auto ticket = std::make_shared<PendingAppend>();
+      ticket->type = type;
+      ticket->body.assign(body.data(), body.size());
+      // Frame = [u32 len][u32 crc] + [u64 lsn][u8 type] + body.
+      queued_bytes_ += 17 + body.size();
+      queue_.push_back(ticket);
+      unclaimed_.push_back(std::move(ticket));
+      over_bytes = max_wal_bytes_ > 0 &&
+                   wal_->file_bytes() + queued_bytes_ > max_wal_bytes_;
+      over_records = max_wal_records_ > 0 &&
+                     wal_->records() + queue_.size() > max_wal_records_;
+    }
+  }
+  if (!grouped) {
+    ORPHEUS_RETURN_NOT_OK(wal_->Append(type, body));
+    over_bytes = max_wal_bytes_ > 0 && wal_->file_bytes() > max_wal_bytes_;
+    over_records =
+        max_wal_records_ > 0 && wal_->records() > max_wal_records_;
+  }
   if (over_bytes || over_records) {
+    // Safe here: the appender's caller holds the engine's exclusive
+    // lock, so the in-memory state the snapshot encodes is stable and
+    // no new enqueues can race the flush.
     return Checkpoint();
   }
   return Status::OK();
 }
 
 Status StorageManager::Checkpoint() {
+  ORPHEUS_RETURN_NOT_OK(FlushPending());
   std::string blob = SnapshotCodec::Encode(*db_, wal_->next_lsn() - 1);
   ORPHEUS_RETURN_NOT_OK(WriteFileAtomic(SnapshotPath(dir_), blob));
   return wal_->Reset();

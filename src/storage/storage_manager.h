@@ -14,14 +14,20 @@
 //
 // OrpheusDB calls the typed Log* appenders after each version-control
 // verb succeeds in memory; the OK returned by an appender is the
-// operation's durability point. Replay applies records through the
-// same OrpheusDB verbs — logging is disarmed during recovery because
-// the manager is not yet attached to the engine.
+// operation's durability point — unless group commit is enabled, in
+// which case appenders only enqueue and the durability point moves to
+// WaitDurable() (see the group-commit section below). Replay applies
+// records through the same OrpheusDB verbs — logging is disarmed
+// during recovery because the manager is not yet attached to the
+// engine.
 
 #ifndef ORPHEUS_STORAGE_STORAGE_MANAGER_H_
 #define ORPHEUS_STORAGE_STORAGE_MANAGER_H_
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +41,18 @@ class OrpheusDB;
 }
 
 namespace orpheus::storage {
+
+// One enqueued-but-not-yet-durable WAL record in the group-commit
+// queue. The enqueuer holds a ticket; a group leader fills in status
+// and LSN once the record's batch has been written and synced.
+struct PendingAppend {
+  WalRecordType type;
+  std::string body;
+  bool done = false;       // guarded by the manager's group mutex
+  Status status;           // valid once done
+  uint64_t lsn = 0;        // assigned at write time; 0 on failure
+};
+using AppendTicket = std::shared_ptr<PendingAppend>;
 
 class StorageManager {
  public:
@@ -72,9 +90,45 @@ class StorageManager {
   uint64_t next_lsn() const { return wal_->next_lsn(); }
   uint64_t wal_bytes() const { return wal_->file_bytes(); }
   uint64_t wal_records() const { return wal_->records(); }
+  // fdatasyncs the appender has issued (group-commit efficiency oracle).
+  uint64_t wal_syncs() const { return wal_->syncs(); }
 
   // Benches may trade per-record fdatasync for throughput.
   void set_fsync(bool on) { wal_->set_fsync(on); }
+
+  // --- Group commit (RocksDB write-group style) -------------------------
+  //
+  // Off (the default), every appender writes + fdatasyncs its own
+  // record before returning — the appender's OK is the durability
+  // point, which is what direct OrpheusDB embedders expect.
+  //
+  // On, appenders only *enqueue*: the record joins the commit group
+  // queue and the appender returns OK immediately (the enqueue order —
+  // fixed by the engine's exclusive lock — is the LSN order). The
+  // durability point moves to WaitDurable(): the first waiter whose
+  // record is still pending becomes the group leader, drains the whole
+  // queue into ONE WalWriter::AppendBatch (one write, one fdatasync),
+  // and wakes every follower with its individual Status. EngineApi
+  // enables this mode and performs the wait after releasing the
+  // exclusive lock, so commit groups form while the leader syncs.
+  void SetGroupCommit(bool on);
+  bool group_commit() const;
+
+  // Hands over the tickets enqueued since the last call. Must be
+  // called by the thread that just ran the appenders, before it
+  // releases the engine's exclusive lock (tickets are per-statement).
+  std::vector<AppendTicket> TakePendingTickets();
+
+  // Blocks until every ticket is durable (leading a group if needed);
+  // returns the first ticket's error, if any. Safe from any thread.
+  Status WaitDurable(const std::vector<AppendTicket>& tickets);
+
+  // Drains the queue synchronously (caller must guarantee no new
+  // enqueues race — in practice: the engine's exclusive lock is held,
+  // or the manager is shutting down). Returns the writer's health so
+  // a poisoned WAL fails a following Checkpoint instead of silently
+  // snapshotting past unsynced records.
+  Status FlushPending();
 
   // --- Typed WAL appenders ---------------------------------------------
   Status LogCreateUser(const std::string& name);
@@ -106,12 +160,19 @@ class StorageManager {
   Status Recover();
   Status ApplyRecord(const WalRecord& record);
 
-  // Appends one record, then folds the WAL into a fresh snapshot if
-  // the policy's bounds are exceeded. Appenders call through here so
-  // every logged verb is a potential checkpoint trigger — the engine
-  // has fully applied the verb in memory by the time it logs, so the
-  // snapshot is consistent.
+  // Appends (or, in group-commit mode, enqueues) one record, then
+  // folds the WAL into a fresh snapshot if the policy's bounds are
+  // exceeded. Appenders call through here so every logged verb is a
+  // potential checkpoint trigger — the engine has fully applied the
+  // verb in memory by the time it logs, so the snapshot is consistent,
+  // and the caller holds the engine's exclusive lock, so flushing the
+  // queue before snapshotting is race-free.
   Status AppendChecked(WalRecordType type, std::string_view body);
+
+  // Becomes the group leader: drains the queue into one AppendBatch
+  // and completes every drained ticket. `lock` must hold group_mu_ and
+  // writer_active_ must be false; the write itself happens unlocked.
+  void LeadGroup(std::unique_lock<std::mutex>& lock);
 
   std::string dir_;
   core::OrpheusDB* db_;
@@ -119,6 +180,16 @@ class StorageManager {
   int lock_fd_ = -1;
   uint64_t max_wal_bytes_ = 64ull << 20;
   uint64_t max_wal_records_ = 0;
+
+  // Group-commit state. Lock ordering: group_mu_ is a leaf — never
+  // acquire any other lock while holding it.
+  mutable std::mutex group_mu_;
+  std::condition_variable group_cv_;
+  std::deque<AppendTicket> queue_;        // enqueued, not yet written
+  std::vector<AppendTicket> unclaimed_;   // enqueued, not yet taken
+  bool writer_active_ = false;            // a leader is writing/syncing
+  bool group_commit_ = false;
+  uint64_t queued_bytes_ = 0;             // frame bytes queued (policy input)
 };
 
 }  // namespace orpheus::storage

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -68,39 +69,84 @@ WalWriter::~WalWriter() {
 }
 
 Status WalWriter::Append(WalRecordType type, std::string_view body) {
-  BinaryWriter frame;
-  uint32_t length = static_cast<uint32_t>(kPayloadHeaderBytes + body.size());
-  // Assemble payload first so the CRC covers lsn + type + body.
-  BinaryWriter payload;
-  payload.PutU64(next_lsn_);
-  payload.PutU8(static_cast<uint8_t>(type));
-  payload.PutRaw(body.data(), body.size());
-  frame.PutU32(length);
-  frame.PutU32(Crc32(payload.data()));
-  frame.PutRaw(payload.data().data(), payload.data().size());
+  WalAppendEntry entry{type, body};
+  return AppendBatch(&entry, 1);
+}
 
-  const std::string& bytes = frame.data();
+Status WalWriter::AppendBatch(const WalAppendEntry* entries, size_t n,
+                              uint64_t* first_lsn) {
+  if (first_lsn != nullptr) *first_lsn = 0;
+  if (n == 0) return Status::OK();
+  ORPHEUS_RETURN_NOT_OK(broken_);
+
+  // Assemble every frame into one buffer so the whole group reaches
+  // the kernel in a single write(): either the batch is a contiguous
+  // run of well-formed frames or the tail is torn at one point, which
+  // recovery truncates away.
+  const uint64_t base_lsn = next_lsn_.load();
+  BinaryWriter batch;
+  for (size_t i = 0; i < n; ++i) {
+    BinaryWriter payload;
+    payload.PutU64(base_lsn + i);
+    payload.PutU8(static_cast<uint8_t>(entries[i].type));
+    payload.PutRaw(entries[i].body.data(), entries[i].body.size());
+    batch.PutU32(static_cast<uint32_t>(payload.data().size()));
+    batch.PutU32(Crc32(payload.data()));
+    batch.PutRaw(payload.data().data(), payload.data().size());
+  }
+
+  const std::string& bytes = batch.data();
+  int64_t torn_bytes = -1;
+  if (NextWalWriteFails(&torn_bytes)) {
+    // Injected crash-at-this-write: model the torn tail by really
+    // writing the requested prefix, then fail as a died process would.
+    if (torn_bytes > 0) {
+      size_t torn = std::min(static_cast<size_t>(torn_bytes), bytes.size());
+      size_t written = 0;
+      while (written < torn) {
+        ssize_t w = ::write(fd_, bytes.data() + written, torn - written);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        written += static_cast<size_t>(w);
+      }
+    }
+    broken_ = Status::Internal("injected WAL write fault for " + path_);
+    return broken_;
+  }
   size_t written = 0;
   while (written < bytes.size()) {
-    ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
-    if (n < 0) {
+    ssize_t w = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (w < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal("WAL append failed for " + path_ + ": " +
-                              std::strerror(errno));
+      broken_ = Status::Internal("WAL append failed for " + path_ + ": " +
+                                 std::strerror(errno));
+      return broken_;
     }
-    written += static_cast<size_t>(n);
+    written += static_cast<size_t>(w);
   }
-  if (fsync_ && ::fdatasync(fd_) != 0) {
-    return Status::Internal("WAL fdatasync failed for " + path_ + ": " +
-                            std::strerror(errno));
+  if (fsync_) {
+    ++syncs_;
+    bool injected_fail = NextWalSyncFails();
+    if (injected_fail || ::fdatasync(fd_) != 0) {
+      broken_ = Status::Internal(
+          injected_fail
+              ? "injected WAL fdatasync fault for " + path_
+              : "WAL fdatasync failed for " + path_ + ": " +
+                    std::strerror(errno));
+      return broken_;
+    }
   }
-  ++next_lsn_;
-  file_bytes_ += bytes.size();
-  ++records_;
+  next_lsn_.fetch_add(n);
+  file_bytes_.fetch_add(bytes.size());
+  records_.fetch_add(n);
+  if (first_lsn != nullptr) *first_lsn = base_lsn;
   return Status::OK();
 }
 
 Status WalWriter::Reset() {
+  ORPHEUS_RETURN_NOT_OK(broken_);
   if (::ftruncate(fd_, 0) != 0) {
     return Status::Internal("WAL truncate failed for " + path_ + ": " +
                             std::strerror(errno));
@@ -109,9 +155,11 @@ Status WalWriter::Reset() {
     return Status::Internal("WAL fdatasync failed for " + path_ + ": " +
                             std::strerror(errno));
   }
-  file_bytes_ = 0;
-  records_ = 0;
+  file_bytes_.store(0);
+  records_.store(0);
   return Status::OK();
 }
+
+Status WalWriter::health() const { return broken_; }
 
 }  // namespace orpheus::storage

@@ -21,6 +21,7 @@
 #ifndef ORPHEUS_STORAGE_WAL_H_
 #define ORPHEUS_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -55,7 +56,15 @@ struct WalRecord {
 std::vector<WalRecord> ParseWal(std::string_view data, uint64_t after_lsn,
                                 size_t* valid_bytes);
 
-// Appender. One writer per directory; OrpheusDB serializes access.
+// One entry of a commit-group batch (see AppendBatch).
+struct WalAppendEntry {
+  WalRecordType type;
+  std::string_view body;
+};
+
+// Appender. One writer per directory; the StorageManager serializes
+// access (either under the engine's exclusive lock, or through the
+// single group-commit leader at a time).
 class WalWriter {
  public:
   // Opens `path` for appending (creating it if needed). `next_lsn` is
@@ -74,15 +83,35 @@ class WalWriter {
   // is the durability point of the logged operation.
   Status Append(WalRecordType type, std::string_view body);
 
+  // Group-commit append: all `n` records become consecutive frames
+  // with consecutive LSNs (first one reported via `*first_lsn`),
+  // written with ONE write() and made durable with ONE fdatasync —
+  // this is what lets N concurrent commits cost ~1 sync. On failure
+  // every record in the batch shares the error and the writer is
+  // poisoned: the file tail past the last synced frame is untrusted,
+  // so later appends refuse until the directory is recovered afresh
+  // (recovery truncates the torn tail).
+  Status AppendBatch(const WalAppendEntry* entries, size_t n,
+                     uint64_t* first_lsn = nullptr);
+
   // Empties the log after a checkpoint. The LSN counter keeps running.
   Status Reset();
 
-  uint64_t next_lsn() const { return next_lsn_; }
+  // OK while the writer is usable; the first failed append/sync
+  // latches its error here (checked by Append/AppendBatch/Reset).
+  Status health() const;
+
+  uint64_t next_lsn() const { return next_lsn_.load(); }
 
   // Log growth since the last Reset — the auto-checkpoint policy's
-  // inputs (storage_manager.h).
-  uint64_t file_bytes() const { return file_bytes_; }
-  uint64_t records() const { return records_; }
+  // inputs (storage_manager.h). Atomic: the policy check (under the
+  // engine lock) races with a group leader's append (outside it).
+  uint64_t file_bytes() const { return file_bytes_.load(); }
+  uint64_t records() const { return records_.load(); }
+
+  // fdatasyncs this writer issued — the group-commit tests' oracle
+  // that N concurrent commits incurred < N syncs.
+  uint64_t syncs() const { return syncs_.load(); }
 
   // Benches may trade durability for throughput; records still reach
   // the OS page cache on every append.
@@ -99,10 +128,12 @@ class WalWriter {
 
   std::string path_;
   int fd_;
-  uint64_t next_lsn_;
-  uint64_t file_bytes_;
-  uint64_t records_;
+  std::atomic<uint64_t> next_lsn_;
+  std::atomic<uint64_t> file_bytes_;
+  std::atomic<uint64_t> records_;
+  std::atomic<uint64_t> syncs_{0};
   bool fsync_ = true;
+  Status broken_ = Status::OK();  // latched first append failure
 };
 
 }  // namespace orpheus::storage

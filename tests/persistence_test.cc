@@ -10,6 +10,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -897,6 +898,161 @@ TEST(Persistence, AutoCheckpointCountsSurviveReopen) {
   ASSERT_TRUE(db.Checkout("t", {1}, "w2").ok());
   EXPECT_EQ(0u, db.storage()->wal_records());  // tripped and reset
   EXPECT_TRUE(storage::FileExists(SnapPath(dir.path())));
+}
+
+// --- Fault-injected commit-group crash matrix ----------------------------
+//
+// Group commit batches several records into ONE write() + ONE
+// fdatasync, so a crash mid-batch can tear the WAL at any byte of the
+// batch buffer. The deterministic fault hooks (io_util.h) let these
+// tests fail the batch write at exact byte offsets — and the failed
+// sync — instead of hoping a kill lands there. The contract: recovery
+// keeps exactly the whole records below the tear, truncates the rest,
+// and a poisoned writer refuses to append past the damage.
+
+// Disarms fault injection even when an ASSERT unwinds the test early.
+struct FaultGuard {
+  ~FaultGuard() { storage::DisarmWalFaults(); }
+};
+
+// The 4-record schedule every crash-matrix run replays identically:
+// checkout, commit, checkout, commit against CVD "t" (version 1 is
+// seeded and synced before the batch). With group commit on, all four
+// records stay queued. `refs[k]` = in-memory state after k records.
+void ApplyGroupSchedule(OrpheusDB* db, std::vector<EngineRef>* refs) {
+  refs->push_back(Capture(db));
+  ASSERT_TRUE(db->Checkout("t", {1}, "a").ok());
+  refs->push_back(Capture(db));
+  ASSERT_EQ(2, db->Commit("t", "a", "c1").ValueOrDie());
+  refs->push_back(Capture(db));
+  ASSERT_TRUE(db->Checkout("t", {1}, "b").ok());
+  refs->push_back(Capture(db));
+  ASSERT_EQ(3, db->Commit("t", "b", "c2").ValueOrDie());
+  refs->push_back(Capture(db));
+}
+
+void SeedForGroupSchedule(OrpheusDB* db) {
+  CvdOptions options;
+  options.primary_key = {"k"};
+  ASSERT_TRUE(db->InitCvd("t", SampleRows(6), options, "init").ok());
+  db->storage()->SetGroupCommit(true);
+}
+
+TEST(Persistence, CommitGroupTornWriteCrashMatrix) {
+  for (int threads : {1, 4}) {
+    SetExecThreads(threads);
+    // Reference run: same schedule, no faults. Yields the per-record
+    // state refs and — because the WAL encoding is deterministic — the
+    // frame boundaries every matrix run below will reproduce.
+    TempDir ref_dir;
+    std::vector<EngineRef> refs;
+    {
+      OrpheusDB db;
+      ASSERT_TRUE(db.Open(ref_dir.path()).ok());
+      SeedForGroupSchedule(&db);
+      ApplyGroupSchedule(&db, &refs);
+      ASSERT_TRUE(db.storage()->FlushPending().ok());
+    }
+    ASSERT_EQ(5u, refs.size());
+    std::string bytes =
+        storage::ReadFileToString(WalPath(ref_dir.path())).ValueOrDie();
+    std::vector<size_t> boundaries = FrameBoundaries(bytes);
+    ASSERT_EQ(5u, boundaries.size());  // init + the 4 batched records
+    // Byte offsets inside the batch buffer (the init frame precedes it
+    // in the file but not in the AppendBatch write).
+    const size_t batch_start = boundaries[0];
+    const int64_t batch_len = static_cast<int64_t>(bytes.size() - batch_start);
+    std::vector<int64_t> rel_bounds;
+    for (size_t i = 1; i < boundaries.size(); ++i) {
+      rel_bounds.push_back(static_cast<int64_t>(boundaries[i] - batch_start));
+    }
+
+    // Tear points: around every frame boundary, mid-frame, nothing
+    // written, and the full buffer (crash between write and sync).
+    std::set<int64_t> cuts = {-1, 0, 1, batch_len};
+    int64_t prev = 0;
+    for (int64_t b : rel_bounds) {
+      cuts.insert(b - 1);
+      cuts.insert(b);
+      cuts.insert(b + 1);
+      cuts.insert(prev + (b - prev) / 2);
+      prev = b;
+    }
+
+    TempDir matrix_root;
+    for (int64_t cut : cuts) {
+      if (cut < -1 || cut > batch_len) continue;
+      const std::string dir =
+          matrix_root.Sub("cut_" + std::to_string(threads) + "_" +
+                          std::to_string(cut + 1));
+      {
+        OrpheusDB db;
+        ASSERT_TRUE(db.Open(dir).ok());
+        SeedForGroupSchedule(&db);
+        std::vector<EngineRef> ignored;
+        ApplyGroupSchedule(&db, &ignored);
+        FaultGuard guard;
+        storage::WalFaultPlan plan;
+        plan.fail_write_at = 1;  // the batch is the 1st write while armed
+        plan.torn_bytes = cut;
+        storage::ArmWalFaults(plan);
+        Status st = db.storage()->FlushPending();
+        EXPECT_FALSE(st.ok()) << "cut=" << cut;
+        // The poisoned writer refuses to append past the torn tail —
+        // records after the damage would be unreadable. (Group mode
+        // would accept the enqueue and fail the wait; the synchronous
+        // path surfaces the latched error directly.)
+        db.storage()->SetGroupCommit(false);
+        EXPECT_FALSE(db.CreateUser("late").ok()) << "cut=" << cut;
+      }
+      // "Crash": the process state is gone, only the torn file remains.
+      size_t survivors = 0;
+      for (int64_t b : rel_bounds) {
+        if (b <= cut) ++survivors;
+      }
+      OrpheusDB recovered;
+      ASSERT_TRUE(recovered.Open(dir).ok()) << "cut=" << cut;
+      ExpectEngineEquals(refs[survivors], &recovered,
+                         "threads=" + std::to_string(threads) + " cut=" +
+                             std::to_string(cut));
+      // The torn tail was truncated away: the WAL ends on the last
+      // whole frame, so the next appender starts at a clean boundary.
+      int64_t wal_size = storage::FileSize(WalPath(dir)).ValueOrDie();
+      int64_t want_size = static_cast<int64_t>(batch_start) +
+                          (survivors == 0 ? 0 : rel_bounds[survivors - 1]);
+      EXPECT_EQ(want_size, wal_size) << "cut=" << cut;
+    }
+  }
+  SetExecThreads(1);
+}
+
+TEST(Persistence, CommitGroupSyncFailurePoisonsWriter) {
+  TempDir dir;
+  std::vector<EngineRef> refs;
+  {
+    OrpheusDB db;
+    ASSERT_TRUE(db.Open(dir.path()).ok());
+    SeedForGroupSchedule(&db);
+    ApplyGroupSchedule(&db, &refs);
+    FaultGuard guard;
+    storage::WalFaultPlan plan;
+    plan.fail_sync_at = 1;  // the batch write lands, its fdatasync fails
+    storage::ArmWalFaults(plan);
+    Status st = db.storage()->FlushPending();
+    EXPECT_FALSE(st.ok());
+    storage::DisarmWalFaults();
+    // A failed sync poisons the writer: neither the synchronous path
+    // nor a checkpoint may run on top of records of unknown durability.
+    db.storage()->SetGroupCommit(false);
+    EXPECT_FALSE(db.CreateUser("late").ok());
+    EXPECT_FALSE(db.Checkpoint().ok());
+  }
+  // The write() itself completed before the sync failed, so the frames
+  // are in the file (durability was never promised — WaitDurable
+  // errored — but recovery of what survives must still be exact).
+  OrpheusDB recovered;
+  ASSERT_TRUE(recovered.Open(dir.path()).ok());
+  ExpectEngineEquals(refs.back(), &recovered, "after failed sync");
 }
 
 }  // namespace
