@@ -33,7 +33,7 @@ constexpr char kHelp[] =
     "  pin <cvd> [-v <vid>]      pin a version snapshot for this session\n"
     "  unpin <cvd> | pins        release / list this session's pins\n"
     "  open <dir>                open/create a durable database directory\n"
-    "  checkpoint                write a fresh snapshot, truncate the WAL\n"
+    "  checkpoint                fold the WAL into segment files (incremental)\n"
     "  save <dir>                one-shot snapshot export (no WAL)\n"
     "  threads [<n>]             show or set scan parallelism (0 = hardware)\n"
     "  create_user <name> | config <name> | whoami\n"
@@ -225,7 +225,11 @@ Result<std::string> EngineApi::Execute(SessionContext* session,
     }
     if (cmd == "checkpoint") {
       ORPHEUS_RETURN_NOT_OK(orpheus_.Checkpoint());
-      return "checkpointed " + orpheus_.storage_dir();
+      const storage::StorageManager::CheckpointStats& stats =
+          orpheus_.storage()->last_checkpoint_stats();
+      return "checkpointed " + orpheus_.storage_dir() + " (" +
+             std::to_string(stats.segments_written) + " segments written, " +
+             std::to_string(stats.segments_reused) + " reused)";
     }
     if (cmd == "save") {
       if (args.size() < 2) return Status::InvalidArgument("save <dir>");

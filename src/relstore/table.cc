@@ -5,10 +5,16 @@
 
 namespace orpheus::rel {
 
+uint64_t Table::NextEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 Table::Table(std::string name, Schema schema, std::vector<std::string> primary_key)
     : name_(std::move(name)),
       chunk_(std::move(schema)),
-      primary_key_(std::move(primary_key)) {}
+      primary_key_(std::move(primary_key)),
+      epoch_(NextEpoch()) {}
 
 Status Table::AppendRow(const std::vector<Value>& values) {
   if (static_cast<int>(values.size()) != schema().num_columns()) {
@@ -46,6 +52,8 @@ Status Table::DeclareIndex(const std::string& column) {
     return Status::NotSupported("indexes are supported on INT columns only");
   }
   indexes_.try_emplace(column);
+  // The declared-index list is part of the table's serialized form.
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -113,6 +121,7 @@ Status Table::EnsureIndex(const std::string& column) {
 }
 
 void Table::InvalidateIndexes() {
+  BumpEpoch();
   std::lock_guard<std::mutex> lock(index_mu_);
   for (auto& [name, index] : indexes_) {
     index.built = false;

@@ -26,6 +26,7 @@
 #ifndef ORPHEUS_RELSTORE_TABLE_H_
 #define ORPHEUS_RELSTORE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -113,6 +114,7 @@ class Table {
   // restore: rows were serialized already in clustered order).
   void RestoreClusteredMarker(std::string column) {
     clustered_on_ = std::move(column);
+    BumpEpoch();  // the marker is part of the serialized form
   }
 
   // Page model: how many rows share a (simulated) 8 KiB page, derived
@@ -128,6 +130,19 @@ class Table {
   // storage sizes as the paper does ("we count the index size as well").
   int64_t IndexByteSize() const;
 
+  // --- Dirty tracking (incremental checkpoints) --------------------
+  //
+  // A process-wide monotonic stamp, advanced on construction and by
+  // every path that can change the table's serialized bytes (all DML
+  // funnels through InvalidateIndexes; DeclareIndex changes the
+  // encoded index list without touching data). The storage manager
+  // records the stamp at each checkpoint: an unchanged stamp means the
+  // segment on disk is still exact. The counter is global, never
+  // per-table, so a dropped-and-recreated table can never alias a
+  // stale recorded stamp. Conservative by design — mutable_chunk()
+  // marks dirty even if the caller ends up not writing.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
  private:
   struct IntIndex {
     bool built = false;
@@ -141,11 +156,15 @@ class Table {
   // read-only statements); see the class comment.
   mutable std::mutex index_mu_;
 
+  void BumpEpoch() { epoch_.store(NextEpoch(), std::memory_order_relaxed); }
+  static uint64_t NextEpoch();
+
   std::string name_;
   Chunk chunk_;
   std::vector<std::string> primary_key_;
   std::unordered_map<std::string, IntIndex> indexes_;
   std::string clustered_on_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace orpheus::rel

@@ -7,6 +7,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -161,35 +162,109 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return out;
 }
 
-Status WriteFileAtomic(const std::string& path, std::string_view data) {
-  const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
-  if (fd < 0) return Errno("open", tmp);
+namespace {
+
+// Shared body of WriteFileAtomic/WriteFileDurable: writes `data` to
+// `target`, fsyncs, with the class's fault hooks applied. On an
+// injected fault the (possibly torn) file is LEFT BEHIND — an injected
+// fault models a crash, and a crash does not clean up.
+Status WriteAndSync(const std::string& target, std::string_view data,
+                    IoFileClass cls) {
+  int fd = ::open(target.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) return Errno("open", target);
+  int64_t torn = -1;
+  if (cls != IoFileClass::kNone && NextIoWriteFails(cls, &torn)) {
+    if (torn > 0) {
+      size_t keep = std::min(static_cast<size_t>(torn), data.size());
+      ssize_t rc = ::write(fd, data.data(), keep);
+      (void)rc;
+    }
+    ::close(fd);
+    return Status::Internal("injected write fault for " + target);
+  }
   size_t written = 0;
   while (written < data.size()) {
     ssize_t n = ::write(fd, data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
-      ::unlink(tmp.c_str());
-      return Errno("write", tmp);
+      ::unlink(target.c_str());
+      return Errno("write", target);
     }
     written += static_cast<size_t>(n);
   }
+  if (cls != IoFileClass::kNone && NextIoSyncFails(cls)) {
+    ::close(fd);
+    return Status::Internal("injected sync fault for " + target);
+  }
   if (::fsync(fd) != 0) {
     ::close(fd);
-    ::unlink(tmp.c_str());
-    return Errno("fsync", tmp);
+    ::unlink(target.c_str());
+    return Errno("fsync", target);
   }
   if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
-    return Errno("close", tmp);
+    ::unlink(target.c_str());
+    return Errno("close", target);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       IoFileClass cls) {
+  const std::string tmp = path + ".tmp";
+  ORPHEUS_RETURN_NOT_OK(WriteAndSync(tmp, data, cls));
+  if (cls != IoFileClass::kNone && NextIoRenameFails(cls)) {
+    return Status::Internal("injected rename fault for " + path);
   }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());
     return Errno("rename", path);
   }
   return SyncParentDir(path);
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view data,
+                        IoFileClass cls) {
+  return WriteAndSync(path, data, cls);
+}
+
+Status DeleteFileChecked(const std::string& path, IoFileClass cls) {
+  if (cls != IoFileClass::kNone && NextIoDeleteFails(cls)) {
+    return Status::Internal("injected delete fault for " + path);
+  }
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open(dir)", path);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync(dir)", path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such directory: " + path);
+    return Errno("opendir", path);
+  }
+  std::vector<std::string> names;
+  struct dirent* entry;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 Status TruncateFile(const std::string& path, int64_t size) {
@@ -222,65 +297,100 @@ void ReleaseLockFile(int fd) {
 
 namespace {
 
-// Fault-injection state. The plan is written only from test threads
-// while the write path is quiescent (Arm/Disarm contract), but the
-// counters race with concurrent WAL writers, so everything that the
-// hot path touches is atomic.
-std::atomic<bool> g_faults_armed{false};
-std::mutex g_fault_mu;           // guards g_fault_plan
-WalFaultPlan g_fault_plan;       // valid while g_faults_armed
-std::atomic<uint64_t> g_plan_writes{0};   // since last Arm
-std::atomic<uint64_t> g_plan_syncs{0};
-std::atomic<uint64_t> g_total_writes{0};  // since process start
-std::atomic<uint64_t> g_total_syncs{0};
+// Fault-injection state, one slot per durable file class. A class's
+// plan is written only from test threads while that write path is
+// quiescent (Arm/Disarm contract), but the counters race with
+// concurrent writers, so everything the hot path touches is atomic.
+struct FaultSlot {
+  std::atomic<bool> armed{false};
+  IoFaultPlan plan;                     // valid while armed
+  std::atomic<uint64_t> plan_writes{0};   // since last Arm
+  std::atomic<uint64_t> plan_syncs{0};
+  std::atomic<uint64_t> plan_renames{0};
+  std::atomic<uint64_t> plan_deletes{0};
+  std::atomic<uint64_t> total_writes{0};  // since process start
+  std::atomic<uint64_t> total_syncs{0};
+};
+
+std::mutex g_fault_mu;  // guards every slot's plan
+FaultSlot g_fault_slots[kNumIoFileClasses];
+
+FaultSlot& Slot(IoFileClass cls) {
+  return g_fault_slots[static_cast<int>(cls)];
+}
 
 }  // namespace
 
-void ArmWalFaults(const WalFaultPlan& plan) {
+void ArmIoFaults(IoFileClass cls, const IoFaultPlan& plan) {
+  FaultSlot& s = Slot(cls);
   std::lock_guard<std::mutex> lock(g_fault_mu);
-  g_fault_plan = plan;
-  g_plan_writes.store(0);
-  g_plan_syncs.store(0);
-  g_faults_armed.store(true, std::memory_order_release);
+  s.plan = plan;
+  s.plan_writes.store(0);
+  s.plan_syncs.store(0);
+  s.plan_renames.store(0);
+  s.plan_deletes.store(0);
+  s.armed.store(true, std::memory_order_release);
 }
 
-void DisarmWalFaults() {
-  g_faults_armed.store(false, std::memory_order_release);
+void DisarmIoFaults() {
+  for (FaultSlot& s : g_fault_slots) {
+    s.armed.store(false, std::memory_order_release);
+  }
 }
 
-uint64_t WalWritesIssued() { return g_total_writes.load(); }
-uint64_t WalSyncsIssued() { return g_total_syncs.load(); }
+uint64_t IoWritesIssued(IoFileClass cls) { return Slot(cls).total_writes.load(); }
+uint64_t IoSyncsIssued(IoFileClass cls) { return Slot(cls).total_syncs.load(); }
 
-bool NextWalWriteFails(int64_t* torn_bytes) {
-  g_total_writes.fetch_add(1);
+bool NextIoWriteFails(IoFileClass cls, int64_t* torn_bytes) {
+  FaultSlot& s = Slot(cls);
+  s.total_writes.fetch_add(1);
   *torn_bytes = -1;
-  if (!g_faults_armed.load(std::memory_order_acquire)) return false;
+  if (!s.armed.load(std::memory_order_acquire)) return false;
   std::lock_guard<std::mutex> lock(g_fault_mu);
-  uint64_t n = g_plan_writes.fetch_add(1) + 1;
-  if (g_fault_plan.fail_write_at != 0 &&
-      n == static_cast<uint64_t>(g_fault_plan.fail_write_at)) {
-    *torn_bytes = g_fault_plan.torn_bytes;
+  uint64_t n = s.plan_writes.fetch_add(1) + 1;
+  if (s.plan.fail_write_at != 0 &&
+      n == static_cast<uint64_t>(s.plan.fail_write_at)) {
+    *torn_bytes = s.plan.torn_bytes;
     return true;
   }
   return false;
 }
 
-bool NextWalSyncFails() {
-  g_total_syncs.fetch_add(1);
-  if (!g_faults_armed.load(std::memory_order_acquire)) return false;
+bool NextIoSyncFails(IoFileClass cls) {
+  FaultSlot& s = Slot(cls);
+  s.total_syncs.fetch_add(1);
+  if (!s.armed.load(std::memory_order_acquire)) return false;
   int delay_ms = 0;
   bool fail = false;
   {
     std::lock_guard<std::mutex> lock(g_fault_mu);
-    delay_ms = g_fault_plan.sync_delay_ms;
-    uint64_t n = g_plan_syncs.fetch_add(1) + 1;
-    fail = g_fault_plan.fail_sync_at != 0 &&
-           n == static_cast<uint64_t>(g_fault_plan.fail_sync_at);
+    delay_ms = s.plan.sync_delay_ms;
+    uint64_t n = s.plan_syncs.fetch_add(1) + 1;
+    fail = s.plan.fail_sync_at != 0 &&
+           n == static_cast<uint64_t>(s.plan.fail_sync_at);
   }
   if (delay_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
   return fail;
+}
+
+bool NextIoRenameFails(IoFileClass cls) {
+  FaultSlot& s = Slot(cls);
+  if (!s.armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  uint64_t n = s.plan_renames.fetch_add(1) + 1;
+  return s.plan.fail_rename_at != 0 &&
+         n == static_cast<uint64_t>(s.plan.fail_rename_at);
+}
+
+bool NextIoDeleteFails(IoFileClass cls) {
+  FaultSlot& s = Slot(cls);
+  if (!s.armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  uint64_t n = s.plan_deletes.fetch_add(1) + 1;
+  return s.plan.fail_delete_at != 0 &&
+         n == static_cast<uint64_t>(s.plan.fail_delete_at);
 }
 
 Result<std::string> MakeTempDir(const std::string& prefix) {

@@ -160,11 +160,42 @@ Status CreateDirectories(const std::string& path);
 // Reads a whole file into a string.
 Result<std::string> ReadFileToString(const std::string& path);
 
+// Durable file classes, used to route fault-injection plans (below) to
+// the right write path. kNone is the default for files that are not
+// part of the crash-recovery protocol (exports, test scratch).
+enum class IoFileClass : int { kNone = -1, kWal = 0, kSegment = 1, kManifest = 2 };
+inline constexpr int kNumIoFileClasses = 3;
+
 // Crash-safe whole-file replace: writes `<path>.tmp`, fsyncs it,
 // renames over `path`, and fsyncs the parent directory so the rename
 // itself is durable. Readers see either the old or the new content,
-// never a prefix.
-Status WriteFileAtomic(const std::string& path, std::string_view data);
+// never a prefix. When `cls` is not kNone the write/sync/rename steps
+// consult the fault-injection hooks for that class; an injected fault
+// models a crash, so the torn `<path>.tmp` is left behind exactly as a
+// real kill would leave it.
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       IoFileClass cls = IoFileClass::kNone);
+
+// Durable whole-file write at the final name (no rename): open + write
+// + fsync. Only correct for *fresh* names that nothing references yet
+// (checkpoint segments: the file is invisible until a manifest lists
+// it). Same fault-injection semantics as WriteFileAtomic.
+Status WriteFileDurable(const std::string& path, std::string_view data,
+                        IoFileClass cls = IoFileClass::kNone);
+
+// unlink() with fault injection (ENOENT is OK — deletes are replayed
+// idempotently during recovery). An injected fault returns an error
+// without unlinking, modeling a crash just before the delete.
+Status DeleteFileChecked(const std::string& path,
+                         IoFileClass cls = IoFileClass::kNone);
+
+// fsyncs a directory so completed creates/renames inside it survive a
+// crash (segment files must be durable before the manifest names them).
+Status SyncDir(const std::string& path);
+
+// Non-recursive directory listing (names only, "."/".." excluded),
+// sorted. NotFound if the directory does not exist.
+Result<std::vector<std::string>> ListDir(const std::string& path);
 
 // Truncates a file to `size` bytes (used to discard a torn WAL tail).
 Status TruncateFile(const std::string& path, int64_t size);
@@ -180,45 +211,59 @@ void ReleaseLockFile(int fd);
 
 // --- Deterministic fault injection (durability tests) -------------------
 //
-// The crash-recovery tests must be able to kill the WAL write path at
-// exact syscall boundaries — the Nth write() or the Nth fdatasync()
-// inside a commit group — instead of hoping a real kill lands there.
-// WalWriter consults these hooks before every WAL write/sync; with no
-// plan armed (the default, and the only production state) they cost
-// one relaxed atomic load each and change nothing.
+// The crash-recovery tests must be able to kill a durable write path at
+// exact syscall boundaries — the Nth write()/fdatasync() of a commit
+// group, the Nth segment write of a checkpoint, the manifest rename —
+// instead of hoping a real kill lands there. Each durable file class
+// (WAL, checkpoint segments, manifest) has its own independently armed
+// plan and counters; with no plan armed (the default, and the only
+// production state) the hooks cost one relaxed atomic load each and
+// change nothing.
 
-struct WalFaultPlan {
-  // 1-based index of the WAL write() that fails (0 = never fail). When
-  // it fires, `torn_bytes` of the frame buffer are genuinely written
-  // first (clamped to the buffer; -1 = nothing reaches the file),
-  // modeling a torn tail exactly at that byte.
+struct IoFaultPlan {
+  // 1-based index of the write() that fails (0 = never fail). When it
+  // fires, `torn_bytes` of the buffer are genuinely written first
+  // (clamped to the buffer; -1 = nothing reaches the file), modeling a
+  // torn tail exactly at that byte.
   int fail_write_at = 0;
   int64_t torn_bytes = -1;
-  // 1-based index of the WAL fdatasync() that fails (0 = never).
+  // 1-based index of the fdatasync/fsync that fails (0 = never).
   int fail_sync_at = 0;
-  // Sleep injected into every fdatasync (0 = none). Lets tests force
-  // commit groups to form deterministically: while the leader is stuck
-  // in "sync", concurrent committers pile into the next group.
+  // Sleep injected into every sync (0 = none). Lets tests force commit
+  // groups to form deterministically: while the leader is stuck in
+  // "sync", concurrent committers pile into the next group.
   int sync_delay_ms = 0;
+  // 1-based index of the rename() that fails (0 = never) — the
+  // manifest's atomic-replace commit point.
+  int fail_rename_at = 0;
+  // 1-based index of the unlink() that fails (0 = never) — the
+  // orphaned-segment cleanup after a checkpoint commits.
+  int fail_delete_at = 0;
 };
 
-// Arms `plan` and zeroes the per-plan syscall counters. Faults fire
-// once (the counters keep advancing past the trigger).
-void ArmWalFaults(const WalFaultPlan& plan);
-void DisarmWalFaults();
+// Arms `plan` for one file class (other classes keep their state) and
+// zeroes that class's per-plan syscall counters. Faults fire once (the
+// counters keep advancing past the trigger).
+void ArmIoFaults(IoFileClass cls, const IoFaultPlan& plan);
+// Disarms every class.
+void DisarmIoFaults();
 
-// Process-wide totals of WAL write()/fdatasync() calls issued since
+// Process-wide totals of write()/sync calls issued per class since
 // startup, counted whether or not a plan is armed — the sync-counter
-// assertions ("N concurrent commits cost < N syncs") diff these.
-uint64_t WalWritesIssued();
-uint64_t WalSyncsIssued();
+// assertions ("N concurrent commits cost < N syncs") and the
+// incremental-checkpoint assertions ("1 dirty table = 1 segment
+// write") diff these.
+uint64_t IoWritesIssued(IoFileClass cls);
+uint64_t IoSyncsIssued(IoFileClass cls);
 
-// Internal (WalWriter): advances the counters and reports whether the
-// armed plan says this write/sync must fail. `*torn_bytes` receives
-// how many bytes to really write before failing (-1 = none). The sync
-// hook also applies the injected delay.
-bool NextWalWriteFails(int64_t* torn_bytes);
-bool NextWalSyncFails();
+// Internal (WalWriter / checkpoint writers): advances the counters and
+// reports whether the armed plan says this syscall must fail.
+// `*torn_bytes` receives how many bytes to really write before failing
+// (-1 = none). The sync hook also applies the injected delay.
+bool NextIoWriteFails(IoFileClass cls, int64_t* torn_bytes);
+bool NextIoSyncFails(IoFileClass cls);
+bool NextIoRenameFails(IoFileClass cls);
+bool NextIoDeleteFails(IoFileClass cls);
 
 // Creates a fresh temporary directory (mkdtemp) — tests and benches.
 Result<std::string> MakeTempDir(const std::string& prefix);

@@ -1,0 +1,81 @@
+#include "storage/manifest.h"
+
+#include <cstring>
+
+#include "storage/io_util.h"
+
+namespace orpheus::storage {
+
+std::string EncodeManifest(const Manifest& manifest) {
+  BinaryWriter body;
+  body.PutU64(manifest.sequence);
+  body.PutU64(manifest.last_lsn);
+  body.PutU64(manifest.next_segment_id);
+  body.PutU32(static_cast<uint32_t>(manifest.segments.size()));
+  for (const ManifestSegment& seg : manifest.segments) {
+    body.PutString(seg.table);
+    body.PutString(seg.file);
+    body.PutU64(seg.size);
+    body.PutU32(seg.crc);
+  }
+  body.PutString(manifest.meta);
+
+  BinaryWriter file;
+  file.PutRaw(kManifestMagic, 8);
+  file.PutU32(kStorageFormatVersion);
+  file.PutU64(body.data().size());
+  file.PutU32(Crc32(body.data()));
+  file.PutRaw(body.data().data(), body.data().size());
+  return file.Release();
+}
+
+Result<Manifest> DecodeManifest(std::string_view file,
+                                const std::string& path) {
+  constexpr size_t kHeaderBytes = 8 + 4 + 8 + 4;
+  if (file.size() < kHeaderBytes ||
+      std::memcmp(file.data(), kManifestMagic, 8) != 0) {
+    return Status::InvalidArgument("not an OrpheusDB manifest file: " + path);
+  }
+  BinaryReader header(file.substr(8));
+  uint32_t version = header.GetU32();
+  if (version != kStorageFormatVersion) {
+    return Status::InvalidArgument(
+        "manifest format version " + std::to_string(version) +
+        " unsupported (this build reads version " +
+        std::to_string(kStorageFormatVersion) + "): " + path);
+  }
+  uint64_t body_len = header.GetU64();
+  uint32_t body_crc = header.GetU32();
+  if (body_len != file.size() - kHeaderBytes) {
+    return Status::Internal("manifest body length mismatch (corrupt file " +
+                            path + ")");
+  }
+  std::string_view body_bytes = file.substr(kHeaderBytes);
+  if (Crc32(body_bytes) != body_crc) {
+    return Status::Internal("manifest checksum mismatch (corrupt file " +
+                            path + ")");
+  }
+
+  Manifest manifest;
+  BinaryReader r(body_bytes);
+  manifest.sequence = r.GetU64();
+  manifest.last_lsn = r.GetU64();
+  manifest.next_segment_id = r.GetU64();
+  uint32_t num_segments = r.GetU32();
+  for (uint32_t i = 0; i < num_segments && r.ok(); ++i) {
+    ManifestSegment seg;
+    seg.table = r.GetString();
+    seg.file = r.GetString();
+    seg.size = r.GetU64();
+    seg.crc = r.GetU32();
+    manifest.segments.push_back(std::move(seg));
+  }
+  manifest.meta = r.GetString();
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::Internal("manifest structure invalid (corrupt file " +
+                            path + ")");
+  }
+  return manifest;
+}
+
+}  // namespace orpheus::storage

@@ -25,32 +25,6 @@ Result<rel::DataType> DecodeDataType(BinaryReader* r) {
   return static_cast<rel::DataType>(raw);
 }
 
-// --- Table section ------------------------------------------------------
-
-void EncodeTable(const rel::Table& table, BinaryWriter* w) {
-  w->PutString(table.name());
-  EncodeStringVec(table.primary_key(), w);
-  w->PutString(table.clustered_on());
-  EncodeStringVec(table.DeclaredIndexColumns(), w);
-  EncodeChunk(table.data(), w);
-}
-
-Status DecodeTable(BinaryReader* r, rel::Database* db) {
-  std::string name = r->GetString();
-  ORPHEUS_ASSIGN_OR_RETURN(std::vector<std::string> pk, DecodeStringVec(r));
-  std::string clustered = r->GetString();
-  ORPHEUS_ASSIGN_OR_RETURN(std::vector<std::string> indexes, DecodeStringVec(r));
-  ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk chunk, DecodeChunk(r));
-  auto table =
-      std::make_unique<rel::Table>(name, chunk.schema(), std::move(pk));
-  table->mutable_chunk() = std::move(chunk);
-  for (const std::string& column : indexes) {
-    ORPHEUS_RETURN_NOT_OK(table->DeclareIndex(column));
-  }
-  table->RestoreClusteredMarker(std::move(clustered));
-  return db->AdoptTableObject(std::move(table));
-}
-
 // --- Partition-store section -------------------------------------------
 
 void EncodePartitionStore(const std::string& cvd_name,
@@ -67,6 +41,34 @@ void EncodePartitionStore(const std::string& cvd_name,
 }
 
 }  // namespace
+
+// --- Table section ------------------------------------------------------
+
+void SnapshotCodec::EncodeTableSection(const rel::Table& table,
+                                       BinaryWriter* w) {
+  w->PutString(table.name());
+  EncodeStringVec(table.primary_key(), w);
+  w->PutString(table.clustered_on());
+  EncodeStringVec(table.DeclaredIndexColumns(), w);
+  EncodeChunk(table.data(), w);
+}
+
+Result<std::unique_ptr<rel::Table>> SnapshotCodec::DecodeTableObject(
+    BinaryReader* r) {
+  std::string name = r->GetString();
+  ORPHEUS_ASSIGN_OR_RETURN(std::vector<std::string> pk, DecodeStringVec(r));
+  std::string clustered = r->GetString();
+  ORPHEUS_ASSIGN_OR_RETURN(std::vector<std::string> indexes, DecodeStringVec(r));
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk chunk, DecodeChunk(r));
+  auto table =
+      std::make_unique<rel::Table>(name, chunk.schema(), std::move(pk));
+  table->mutable_chunk() = std::move(chunk);
+  for (const std::string& column : indexes) {
+    ORPHEUS_RETURN_NOT_OK(table->DeclareIndex(column));
+  }
+  table->RestoreClusteredMarker(std::move(clustered));
+  return table;
+}
 
 // --- CVD section --------------------------------------------------------
 
@@ -310,6 +312,38 @@ Result<rel::Chunk> DecodeChunk(BinaryReader* r) {
   return chunk;
 }
 
+// --- Engine-metadata section (everything but the tables) ----------------
+
+void SnapshotCodec::EncodeMeta(OrpheusDB& db, BinaryWriter* w) {
+  EncodeStringVec(std::vector<std::string>(db.users_.begin(), db.users_.end()),
+                  w);
+  w->PutString(db.current_user_);
+
+  w->PutU32(static_cast<uint32_t>(db.cvds_.size()));
+  for (const auto& [name, cvd] : db.cvds_) EncodeCvd(*cvd, w);
+
+  w->PutU32(static_cast<uint32_t>(db.partition_stores_.size()));
+  for (const auto& [name, store] : db.partition_stores_) {
+    EncodePartitionStore(name, *store, w);
+  }
+}
+
+Status SnapshotCodec::DecodeMeta(BinaryReader* r, OrpheusDB* db) {
+  ORPHEUS_ASSIGN_OR_RETURN(std::vector<std::string> users, DecodeStringVec(r));
+  db->users_ = std::set<std::string>(users.begin(), users.end());
+  db->current_user_ = r->GetString();
+
+  uint32_t num_cvds = r->GetU32();
+  for (uint32_t i = 0; i < num_cvds && r->ok(); ++i) {
+    ORPHEUS_RETURN_NOT_OK(DecodeCvd(r, db));
+  }
+  uint32_t num_stores = r->GetU32();
+  for (uint32_t i = 0; i < num_stores && r->ok(); ++i) {
+    ORPHEUS_RETURN_NOT_OK(DecodePartitionStore(r, db));
+  }
+  return r->status();
+}
+
 // --- Whole-snapshot codec ----------------------------------------------
 
 std::string SnapshotCodec::Encode(OrpheusDB& db, uint64_t last_lsn) {
@@ -322,7 +356,7 @@ std::string SnapshotCodec::Encode(OrpheusDB& db, uint64_t last_lsn) {
   std::vector<std::string> table_names = db.db_.ListTables();
   body.PutU32(static_cast<uint32_t>(table_names.size()));
   for (const std::string& name : table_names) {
-    EncodeTable(*db.db_.GetTable(name).value(), &body);
+    EncodeTableSection(*db.db_.GetTable(name).value(), &body);
   }
 
   body.PutU32(static_cast<uint32_t>(db.cvds_.size()));
@@ -381,7 +415,9 @@ Status SnapshotCodec::Decode(std::string_view file, OrpheusDB* db,
 
   uint32_t num_tables = r.GetU32();
   for (uint32_t i = 0; i < num_tables && r.ok(); ++i) {
-    ORPHEUS_RETURN_NOT_OK(DecodeTable(&r, &db->db_));
+    ORPHEUS_ASSIGN_OR_RETURN(std::unique_ptr<rel::Table> table,
+                             DecodeTableObject(&r));
+    ORPHEUS_RETURN_NOT_OK(db->db_.AdoptTableObject(std::move(table)));
   }
   uint32_t num_cvds = r.GetU32();
   for (uint32_t i = 0; i < num_cvds && r.ok(); ++i) {

@@ -22,11 +22,13 @@
 #define ORPHEUS_STORAGE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
 #include "relstore/chunk.h"
+#include "relstore/table.h"
 #include "storage/io_util.h"
 
 namespace orpheus::core {
@@ -59,6 +61,26 @@ class SnapshotCodec {
   // mismatch, Internal on checksum/structure corruption.
   static Status Decode(std::string_view file, core::OrpheusDB* db,
                        uint64_t* last_lsn);
+
+  // --- Per-unit sections (shared with the v2 segment/manifest codec) ---
+
+  // One table's serialized form: name, primary key, clustering marker,
+  // declared indexes, columnar payload. Exactly the bytes a v1
+  // snapshot's table section uses — a segment file wraps these.
+  static void EncodeTableSection(const rel::Table& table, BinaryWriter* w);
+  // Decodes one table section into a standalone Table object (not yet
+  // adopted by any Database) — segment restore decodes these in
+  // parallel, then adopts sequentially in manifest order.
+  static Result<std::unique_ptr<rel::Table>> DecodeTableObject(BinaryReader* r);
+
+  // Engine metadata minus the tables: user registry + current login,
+  // every CVD, every partition store. Small (no row payloads), so the
+  // v2 manifest embeds it whole — one atomic manifest replace commits
+  // tables and metadata together. DecodeMeta requires the backing
+  // tables to be present already (CVD/partition-store restore rebuilds
+  // derived state from them).
+  static void EncodeMeta(core::OrpheusDB& db, BinaryWriter* w);
+  static Status DecodeMeta(BinaryReader* r, core::OrpheusDB* db);
 
  private:
   // Members (not free functions) because they exercise the friendship

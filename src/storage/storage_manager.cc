@@ -1,10 +1,14 @@
 #include "storage/storage_manager.h"
 
+#include <cstdio>
 #include <map>
+#include <set>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "core/orpheus.h"
 #include "storage/io_util.h"
+#include "storage/segment.h"
 #include "storage/snapshot.h"
 
 namespace orpheus::storage {
@@ -12,6 +16,17 @@ namespace orpheus::storage {
 namespace {
 
 using core::VersionId;
+
+// Fresh segment file name; ids are allocated from the manifest's
+// next_segment_id and never reused, so a checkpoint can never
+// overwrite a live segment (at worst it reclaims the name of an
+// orphan a crashed checkpoint left behind).
+std::string SegmentFileName(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%08llu.orps",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
 
 const char* RecordTypeName(WalRecordType type) {
   switch (type) {
@@ -64,9 +79,125 @@ Status StorageManager::SaveSnapshotTo(core::OrpheusDB* db,
   return WriteFileAtomic(SnapshotPath(dir), blob);
 }
 
+Status StorageManager::RestoreFromManifest(uint64_t* last_lsn) {
+  const std::string manifest_path = ManifestPath(dir_);
+  ORPHEUS_ASSIGN_OR_RETURN(std::string blob, ReadFileToString(manifest_path));
+  ORPHEUS_ASSIGN_OR_RETURN(manifest_, DecodeManifest(blob, manifest_path));
+
+  if (!db_->cvds_.empty() || !db_->db_.ListTables().empty()) {
+    return Status::InvalidArgument(
+        "manifest restore requires a fresh engine (CVDs or tables exist)");
+  }
+
+  // Read + validate + decode every segment in parallel; adopt
+  // sequentially in manifest order afterwards so the restored table
+  // map is deterministic and errors surface in a stable order.
+  const int n = static_cast<int>(manifest_.segments.size());
+  std::vector<std::unique_ptr<rel::Table>> tables(n);
+  std::vector<Status> statuses(n);
+  orpheus::ExecParallelFor(n, [&](int i) {
+    const ManifestSegment& seg = manifest_.segments[i];
+    const std::string path = SegmentPath(dir_, seg.file);
+    Result<std::string> bytes_or = ReadFileToString(path);
+    if (!bytes_or.ok()) {
+      statuses[i] = Status::Internal("missing segment file " + path +
+                                     " (referenced by MANIFEST): " +
+                                     bytes_or.status().ToString());
+      return;
+    }
+    const std::string& bytes = bytes_or.value();
+    if (bytes.size() != seg.size) {
+      statuses[i] = Status::Internal(
+          "segment size mismatch for " + path + ": manifest says " +
+          std::to_string(seg.size) + " bytes, file has " +
+          std::to_string(bytes.size()));
+      return;
+    }
+    if (Crc32(bytes) != seg.crc) {
+      statuses[i] =
+          Status::Internal("segment checksum mismatch (corrupt file " + path +
+                           ", expected by MANIFEST)");
+      return;
+    }
+    Result<std::unique_ptr<rel::Table>> table_or =
+        DecodeSegmentFile(bytes, path);
+    if (!table_or.ok()) {
+      statuses[i] = table_or.status();
+      return;
+    }
+    if (table_or.value()->name() != seg.table) {
+      statuses[i] = Status::Internal(
+          "segment table mismatch for " + path + ": manifest says \"" +
+          seg.table + "\", file holds \"" + table_or.value()->name() + "\"");
+      return;
+    }
+    tables[i] = std::move(table_or).value();
+  });
+  for (int i = 0; i < n; ++i) {
+    ORPHEUS_RETURN_NOT_OK(statuses[i]);
+    ORPHEUS_RETURN_NOT_OK(db_->db_.AdoptTableObject(std::move(tables[i])));
+  }
+
+  BinaryReader r(manifest_.meta);
+  Status st = SnapshotCodec::DecodeMeta(&r, db_);
+  if (st.ok() && r.remaining() != 0) {
+    st = Status::Internal("manifest metadata has trailing bytes");
+  }
+  if (!st.ok()) {
+    return Status::Internal("manifest metadata restore failed (corrupt file " +
+                            manifest_path + "): " + st.ToString());
+  }
+
+  // The segments on disk are exact for the state just restored; stamp
+  // every table clean *now*, before WAL replay re-dirties whatever it
+  // touches.
+  clean_epochs_.clear();
+  for (const std::string& name : db_->db_.ListTables()) {
+    clean_epochs_[name] = db_->db_.GetTable(name).value()->epoch();
+  }
+
+  *last_lsn = manifest_.last_lsn;
+  return Status::OK();
+}
+
+Status StorageManager::DeleteOrphanSegments(uint64_t* deleted) {
+  uint64_t count = 0;
+  std::set<std::string> live;
+  for (const ManifestSegment& seg : manifest_.segments) live.insert(seg.file);
+  Result<std::vector<std::string>> names_or = ListDir(SegmentsDir(dir_));
+  if (names_or.ok()) {
+    for (const std::string& name : names_or.value()) {
+      if (live.count(name) > 0) continue;
+      ORPHEUS_RETURN_NOT_OK(
+          DeleteFileChecked(SegmentPath(dir_, name), IoFileClass::kSegment));
+      ++count;
+    }
+  } else if (names_or.status().code() != StatusCode::kNotFound) {
+    return names_or.status();
+  }
+  // A legacy v1 snapshot superseded by the manifest is an orphan too
+  // (migration's final step; also re-run here if that step crashed).
+  if (FileExists(SnapshotPath(dir_))) {
+    ORPHEUS_RETURN_NOT_OK(
+        DeleteFileChecked(SnapshotPath(dir_), IoFileClass::kSegment));
+    ++count;
+  }
+  if (deleted != nullptr) *deleted = count;
+  return Status::OK();
+}
+
 Status StorageManager::Recover() {
   uint64_t snapshot_lsn = 0;
-  if (FileExists(SnapshotPath(dir_))) {
+  bool migrate_v1 = false;
+  if (FileExists(ManifestPath(dir_))) {
+    Status st = RestoreFromManifest(&snapshot_lsn);
+    if (!st.ok()) {
+      return Status::Internal("cannot recover " + dir_ +
+                              ": manifest restore failed: " + st.ToString());
+    }
+  } else if (FileExists(SnapshotPath(dir_))) {
+    // Legacy v1 directory: restore the monolithic snapshot, then (once
+    // the WAL is replayed and the appender armed) migrate in place.
     ORPHEUS_ASSIGN_OR_RETURN(std::string blob,
                              ReadFileToString(SnapshotPath(dir_)));
     Status st = SnapshotCodec::Decode(blob, db_, &snapshot_lsn);
@@ -74,6 +205,7 @@ Status StorageManager::Recover() {
       return Status::Internal("cannot recover " + dir_ +
                               ": snapshot restore failed: " + st.ToString());
     }
+    migrate_v1 = true;
   }
 
   uint64_t max_lsn = snapshot_lsn;
@@ -103,6 +235,17 @@ Status StorageManager::Recover() {
   }
   ORPHEUS_ASSIGN_OR_RETURN(
       wal_, WalWriter::Open(wal_path, max_lsn + 1, replayed_records));
+
+  if (migrate_v1) {
+    // One-shot v1→v2 migration: clean_epochs_ is empty, so this full
+    // checkpoint segments every table, commits the first MANIFEST, and
+    // retires snapshot.orph (as an orphan). If it fails the directory
+    // is still a valid v1 directory and the next open retries.
+    ORPHEUS_RETURN_NOT_OK(Checkpoint());
+  } else if (FileExists(ManifestPath(dir_))) {
+    // Remove segments a crashed checkpoint wrote but never committed.
+    ORPHEUS_RETURN_NOT_OK(DeleteOrphanSegments(nullptr));
+  }
   return Status::OK();
 }
 
@@ -230,8 +373,72 @@ Status StorageManager::AppendChecked(WalRecordType type,
 
 Status StorageManager::Checkpoint() {
   ORPHEUS_RETURN_NOT_OK(FlushPending());
-  std::string blob = SnapshotCodec::Encode(*db_, wal_->next_lsn() - 1);
-  ORPHEUS_RETURN_NOT_OK(WriteFileAtomic(SnapshotPath(dir_), blob));
+
+  Manifest next;
+  next.sequence = manifest_.sequence + 1;
+  next.last_lsn = wal_->next_lsn() - 1;
+  next.next_segment_id = manifest_.next_segment_id;
+
+  std::map<std::string, const ManifestSegment*> live;
+  for (const ManifestSegment& seg : manifest_.segments) {
+    live[seg.table] = &seg;
+  }
+
+  CheckpointStats stats;
+  std::map<std::string, uint64_t> observed_epochs;
+  ORPHEUS_RETURN_NOT_OK(CreateDirectories(SegmentsDir(dir_)));
+  for (const std::string& name : db_->db_.ListTables()) {
+    const rel::Table* table = db_->db_.GetTable(name).value();
+    const uint64_t epoch = table->epoch();
+    observed_epochs[name] = epoch;
+
+    auto clean = clean_epochs_.find(name);
+    auto old_seg = live.find(name);
+    if (incremental_ && old_seg != live.end() &&
+        clean != clean_epochs_.end() && clean->second == epoch) {
+      // Unchanged since its segment was encoded: carry it over.
+      next.segments.push_back(*old_seg->second);
+      ++stats.segments_reused;
+      continue;
+    }
+    // Dirty (or full-rewrite mode): fresh segment under a fresh name.
+    const std::string file = SegmentFileName(next.next_segment_id++);
+    const std::string blob = EncodeSegmentFile(*table);
+    ORPHEUS_RETURN_NOT_OK(
+        WriteFileDurable(SegmentPath(dir_, file), blob, IoFileClass::kSegment));
+    ManifestSegment seg;
+    seg.table = name;
+    seg.file = file;
+    seg.size = blob.size();
+    seg.crc = Crc32(blob);
+    next.segments.push_back(std::move(seg));
+    ++stats.segments_written;
+    stats.bytes_written += blob.size();
+  }
+  if (stats.segments_written > 0) {
+    // New segment files' directory entries must be durable before the
+    // manifest references them.
+    ORPHEUS_RETURN_NOT_OK(SyncDir(SegmentsDir(dir_)));
+  }
+
+  BinaryWriter meta;
+  SnapshotCodec::EncodeMeta(*db_, &meta);
+  next.meta = meta.Release();
+
+  // The commit point: atomically replace the MANIFEST. Before the
+  // rename lands, recovery sees the old manifest plus the full WAL;
+  // after, the new manifest whose watermark skips those records.
+  ORPHEUS_RETURN_NOT_OK(WriteFileAtomic(ManifestPath(dir_),
+                                        EncodeManifest(next),
+                                        IoFileClass::kManifest));
+
+  manifest_ = std::move(next);
+  clean_epochs_ = std::move(observed_epochs);
+  last_stats_ = stats;
+
+  // Cleanup after the commit point: failures here leave orphans (or a
+  // stale-but-skipped WAL), both harmless and retried later.
+  ORPHEUS_RETURN_NOT_OK(DeleteOrphanSegments(&last_stats_.segments_deleted));
   return wal_->Reset();
 }
 

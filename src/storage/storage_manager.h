@@ -1,16 +1,31 @@
 // StorageManager: the orchestration layer of the durable storage
-// subsystem. One manager owns one database directory:
+// subsystem. One manager owns one database directory (storage format
+// v2 — segmented incremental checkpoints):
 //
-//   <dir>/snapshot.orph   latest full snapshot (see snapshot.h)
-//   <dir>/wal.log         commit WAL since that snapshot (see wal.h)
-//   <dir>/LOCK            flock(2)-held single-writer guard
+//   <dir>/MANIFEST           the commit point (see manifest.h)
+//   <dir>/segments/          immutable per-table segment files
+//     seg-<id>.orps            (see segment.h; ids never reused)
+//   <dir>/wal.log            commit WAL past the manifest watermark
+//   <dir>/LOCK               flock(2)-held single-writer guard
 //
-// Open() recovers: restore the snapshot (if any), replay every WAL
-// record past the snapshot's LSN watermark, truncate any torn tail,
-// and arm the appender. Checkpoint() writes a fresh snapshot via
-// temp-file + atomic rename and empties the WAL; a crash between the
-// two steps is harmless because replay skips records at or below the
-// watermark.
+// Open() recovers: load the MANIFEST (if any), restore its segments
+// in parallel, replay every WAL record past the manifest's LSN
+// watermark, truncate any torn tail, delete unreferenced segment
+// files, and arm the appender. A directory holding a legacy v1
+// `snapshot.orph` instead of a MANIFEST is migrated in place on first
+// open (restore v1 → full checkpoint → retire the snapshot).
+//
+// Checkpoint() is incremental: each table carries a mutation epoch
+// (rel::Table::epoch), and only tables whose epoch moved since the
+// last checkpoint get a fresh segment — everything else is carried
+// over by reference. Protocol: write dirty segments under fresh
+// never-reused names, fsync them (and their directory), then commit
+// by atomically replacing the MANIFEST, then delete orphaned
+// segments and reset the WAL. A crash anywhere leaves either the old
+// manifest (plus a fully replayable WAL) or the new one (whose
+// watermark skips the folded WAL records) — never a hybrid; stray
+// segment files are orphans, invisible to recovery and deleted by
+// the next checkpoint or open.
 //
 // OrpheusDB calls the typed Log* appenders after each version-control
 // verb succeeds in memory; the OK returned by an appender is the
@@ -26,6 +41,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +50,7 @@
 #include "common/status.h"
 #include "core/cvd.h"
 #include "relstore/chunk.h"
+#include "storage/manifest.h"
 #include "storage/wal.h"
 
 namespace orpheus::core {
@@ -62,11 +79,25 @@ class StorageManager {
   static Result<std::unique_ptr<StorageManager>> Open(const std::string& dir,
                                                       core::OrpheusDB* db);
 
-  // One-shot snapshot export (no WAL, no recovery arm).
+  // One-shot snapshot export (no WAL, no recovery arm). Still the v1
+  // single-file format: a portable whole-engine image, and the input
+  // of the v1→v2 migration path.
   static Status SaveSnapshotTo(core::OrpheusDB* db, const std::string& dir);
 
+  // Legacy v1 snapshot location — written by SaveSnapshotTo, read only
+  // by the migration path.
   static std::string SnapshotPath(const std::string& dir) {
     return dir + "/snapshot.orph";
+  }
+  static std::string ManifestPath(const std::string& dir) {
+    return dir + "/MANIFEST";
+  }
+  static std::string SegmentsDir(const std::string& dir) {
+    return dir + "/segments";
+  }
+  static std::string SegmentPath(const std::string& dir,
+                                 const std::string& file) {
+    return dir + "/segments/" + file;
   }
   static std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
   static std::string LockPath(const std::string& dir) { return dir + "/LOCK"; }
@@ -76,8 +107,26 @@ class StorageManager {
 
   ~StorageManager();  // releases the directory LOCK
 
-  // Fresh snapshot (temp file + atomic rename), then WAL truncation.
+  // Incremental checkpoint: rewrite only dirty tables' segments,
+  // commit by atomic MANIFEST replace, delete orphans, reset the WAL.
   Status Checkpoint();
+
+  struct CheckpointStats {
+    uint64_t segments_written = 0;  // freshly encoded + written
+    uint64_t segments_reused = 0;   // carried over by reference
+    uint64_t segments_deleted = 0;  // orphans retired afterwards
+    uint64_t bytes_written = 0;     // segment bytes only (not MANIFEST)
+  };
+  const CheckpointStats& last_checkpoint_stats() const { return last_stats_; }
+
+  // Forces every table dirty at each checkpoint — the full-rewrite
+  // reference engine for equivalence tests and bench baselines.
+  void set_incremental_checkpoint(bool on) { incremental_ = on; }
+  bool incremental_checkpoint() const { return incremental_; }
+
+  // The live manifest (tests: segment file names/checksums; benches:
+  // checkpointed byte totals).
+  const Manifest& manifest() const { return manifest_; }
 
   // Automatic checkpointing: once the WAL since the last checkpoint
   // exceeds `max_wal_bytes` bytes or `max_wal_records` records
@@ -160,6 +209,16 @@ class StorageManager {
   Status Recover();
   Status ApplyRecord(const WalRecord& record);
 
+  // Loads the MANIFEST, restores its segments (in parallel) and the
+  // embedded engine metadata, and records per-table clean epochs.
+  // On success `*last_lsn` receives the manifest's WAL watermark.
+  Status RestoreFromManifest(uint64_t* last_lsn);
+
+  // Deletes files in <dir>/segments not named by `manifest_`, plus a
+  // superseded legacy snapshot.orph. `*deleted` (optional) receives
+  // the count.
+  Status DeleteOrphanSegments(uint64_t* deleted);
+
   // Appends (or, in group-commit mode, enqueues) one record, then
   // folds the WAL into a fresh snapshot if the policy's bounds are
   // exceeded. Appenders call through here so every logged verb is a
@@ -180,6 +239,16 @@ class StorageManager {
   int lock_fd_ = -1;
   uint64_t max_wal_bytes_ = 64ull << 20;
   uint64_t max_wal_records_ = 0;
+
+  // Checkpoint state. The live manifest mirrors <dir>/MANIFEST;
+  // clean_epochs_ maps table name -> rel::Table::epoch() at the moment
+  // its on-disk segment was encoded (an unchanged epoch means the
+  // segment is still exact). All mutated under the engine's exclusive
+  // lock, like the WAL appenders.
+  Manifest manifest_;
+  std::map<std::string, uint64_t> clean_epochs_;
+  bool incremental_ = true;
+  CheckpointStats last_stats_;
 
   // Group-commit state. Lock ordering: group_mu_ is a leaf — never
   // acquire any other lock while holding it.

@@ -97,7 +97,7 @@ Status WalWriter::AppendBatch(const WalAppendEntry* entries, size_t n,
 
   const std::string& bytes = batch.data();
   int64_t torn_bytes = -1;
-  if (NextWalWriteFails(&torn_bytes)) {
+  if (NextIoWriteFails(IoFileClass::kWal, &torn_bytes)) {
     // Injected crash-at-this-write: model the torn tail by really
     // writing the requested prefix, then fail as a died process would.
     if (torn_bytes > 0) {
@@ -128,7 +128,7 @@ Status WalWriter::AppendBatch(const WalAppendEntry* entries, size_t n,
   }
   if (fsync_) {
     ++syncs_;
-    bool injected_fail = NextWalSyncFails();
+    bool injected_fail = NextIoSyncFails(IoFileClass::kWal);
     if (injected_fail || ::fdatasync(fd_) != 0) {
       broken_ = Status::Internal(
           injected_fail

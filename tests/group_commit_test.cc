@@ -62,7 +62,7 @@ class TempDir {
 
 // Disarms fault injection even when an ASSERT unwinds the test early.
 struct FaultGuard {
-  ~FaultGuard() { storage::DisarmWalFaults(); }
+  ~FaultGuard() { storage::DisarmIoFaults(); }
 };
 
 // k INT (pk), score DOUBLE.
@@ -253,7 +253,7 @@ TEST(GroupCommit, AutoCheckpointStillFiresOnQueuedGrowth) {
       MustExecute(&api, session.get(), "commit -t " + w + " -m x");
     }
     EXPECT_TRUE(
-        storage::FileExists(storage::StorageManager::SnapshotPath(dir.path())));
+        storage::FileExists(storage::StorageManager::ManifestPath(dir.path())));
     EXPECT_LE(api.orpheus()->storage()->wal_records(), 3u);
     live_blob = storage::SnapshotCodec::Encode(*api.orpheus(), 0);
   }
@@ -287,9 +287,9 @@ void RunTcpStress(int exec_threads) {
     uint64_t records_before = sm->wal_records();
 
     FaultGuard guard;
-    storage::WalFaultPlan plan;
+    storage::IoFaultPlan plan;
     plan.sync_delay_ms = 15;  // no failures — just group formation
-    storage::ArmWalFaults(plan);
+    storage::ArmIoFaults(storage::IoFileClass::kWal, plan);
 
     ServerOptions options;
     options.port = 0;
@@ -317,7 +317,7 @@ void RunTcpStress(int exec_threads) {
     }
     for (std::thread& t : threads) t.join();
     server.Stop();
-    storage::DisarmWalFaults();
+    storage::DisarmIoFaults();
     ASSERT_EQ(0, failures.load());
 
     // All-or-nothing per commit: every one of them landed.

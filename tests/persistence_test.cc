@@ -7,11 +7,15 @@
 // WAL-record prefix reproduces the corresponding engine state
 // bit-identically, across --threads {1, 4}.
 
+#include <sys/stat.h>
+
 #include <cstring>
 #include <map>
 #include <memory>
+#include <random>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,6 +24,7 @@
 #include "common/thread_pool.h"
 #include "core/orpheus.h"
 #include "storage/io_util.h"
+#include "storage/manifest.h"
 #include "storage/snapshot.h"
 #include "storage/storage_manager.h"
 #include "storage/wal.h"
@@ -47,6 +52,12 @@ class TempDir {
 
 std::string SnapPath(const std::string& dir) {
   return storage::StorageManager::SnapshotPath(dir);
+}
+std::string ManifestPath(const std::string& dir) {
+  return storage::StorageManager::ManifestPath(dir);
+}
+std::string SegmentsDir(const std::string& dir) {
+  return storage::StorageManager::SegmentsDir(dir);
 }
 std::string WalPath(const std::string& dir) {
   return storage::StorageManager::WalPath(dir);
@@ -176,10 +187,20 @@ void CopyFileIfExists(const std::string& from, const std::string& to) {
   ASSERT_TRUE(storage::WriteFileAtomic(to, bytes).ok());
 }
 
-// Clones snapshot + WAL into a fresh directory (simulated crash copy).
+// Clones the durable state — legacy snapshot, MANIFEST + segments,
+// WAL — into a fresh directory (simulated crash copy; LOCK excluded).
 void CloneDbDir(const std::string& from, const std::string& to) {
   ASSERT_TRUE(storage::CreateDirectories(to).ok());
   CopyFileIfExists(SnapPath(from), SnapPath(to));
+  CopyFileIfExists(ManifestPath(from), ManifestPath(to));
+  auto segments = storage::ListDir(SegmentsDir(from));
+  if (segments.ok()) {
+    ASSERT_TRUE(storage::CreateDirectories(SegmentsDir(to)).ok());
+    for (const std::string& name : segments.value()) {
+      CopyFileIfExists(SegmentsDir(from) + "/" + name,
+                       SegmentsDir(to) + "/" + name);
+    }
+  }
   CopyFileIfExists(WalPath(from), WalPath(to));
 }
 
@@ -850,7 +871,7 @@ TEST(Persistence, AutoCheckpointTriggersOnWalBytes) {
       ASSERT_TRUE(db.Checkout("t", {1}, w).ok());
       ASSERT_TRUE(db.Commit("t", w, "round").ok());
     }
-    EXPECT_TRUE(storage::FileExists(SnapPath(dir.path())));
+    EXPECT_TRUE(storage::FileExists(ManifestPath(dir.path())));
     EXPECT_LE(db.storage()->wal_bytes(), 256u + 1024u);
     ref = Capture(&db);
   }
@@ -871,9 +892,9 @@ TEST(Persistence, AutoCheckpointTriggersOnRecordCount) {
   ASSERT_TRUE(db.InitCvd("t", SampleRows(4), options, "init").ok());  // 1
   ASSERT_TRUE(db.Checkout("t", {1}, "w").ok());                       // 2
   ASSERT_TRUE(db.Commit("t", "w", "c1").ok());                        // 3
-  EXPECT_FALSE(storage::FileExists(SnapPath(dir.path())));
+  EXPECT_FALSE(storage::FileExists(ManifestPath(dir.path())));
   ASSERT_TRUE(db.Checkout("t", {1}, "w2").ok());  // 4th record: trips
-  EXPECT_TRUE(storage::FileExists(SnapPath(dir.path())));
+  EXPECT_TRUE(storage::FileExists(ManifestPath(dir.path())));
   EXPECT_EQ(0u, db.storage()->wal_records());
 }
 
@@ -897,7 +918,7 @@ TEST(Persistence, AutoCheckpointCountsSurviveReopen) {
   db.storage()->SetAutoCheckpointPolicy(0, 2);
   ASSERT_TRUE(db.Checkout("t", {1}, "w2").ok());
   EXPECT_EQ(0u, db.storage()->wal_records());  // tripped and reset
-  EXPECT_TRUE(storage::FileExists(SnapPath(dir.path())));
+  EXPECT_TRUE(storage::FileExists(ManifestPath(dir.path())));
 }
 
 // --- Fault-injected commit-group crash matrix ----------------------------
@@ -912,7 +933,7 @@ TEST(Persistence, AutoCheckpointCountsSurviveReopen) {
 
 // Disarms fault injection even when an ASSERT unwinds the test early.
 struct FaultGuard {
-  ~FaultGuard() { storage::DisarmWalFaults(); }
+  ~FaultGuard() { storage::DisarmIoFaults(); }
 };
 
 // The 4-record schedule every crash-matrix run replays identically:
@@ -992,10 +1013,10 @@ TEST(Persistence, CommitGroupTornWriteCrashMatrix) {
         std::vector<EngineRef> ignored;
         ApplyGroupSchedule(&db, &ignored);
         FaultGuard guard;
-        storage::WalFaultPlan plan;
+        storage::IoFaultPlan plan;
         plan.fail_write_at = 1;  // the batch is the 1st write while armed
         plan.torn_bytes = cut;
-        storage::ArmWalFaults(plan);
+        storage::ArmIoFaults(storage::IoFileClass::kWal, plan);
         Status st = db.storage()->FlushPending();
         EXPECT_FALSE(st.ok()) << "cut=" << cut;
         // The poisoned writer refuses to append past the torn tail —
@@ -1035,12 +1056,12 @@ TEST(Persistence, CommitGroupSyncFailurePoisonsWriter) {
     SeedForGroupSchedule(&db);
     ApplyGroupSchedule(&db, &refs);
     FaultGuard guard;
-    storage::WalFaultPlan plan;
+    storage::IoFaultPlan plan;
     plan.fail_sync_at = 1;  // the batch write lands, its fdatasync fails
-    storage::ArmWalFaults(plan);
+    storage::ArmIoFaults(storage::IoFileClass::kWal, plan);
     Status st = db.storage()->FlushPending();
     EXPECT_FALSE(st.ok());
-    storage::DisarmWalFaults();
+    storage::DisarmIoFaults();
     // A failed sync poisons the writer: neither the synchronous path
     // nor a checkpoint may run on top of records of unknown durability.
     db.storage()->SetGroupCommit(false);
@@ -1053,6 +1074,466 @@ TEST(Persistence, CommitGroupSyncFailurePoisonsWriter) {
   OrpheusDB recovered;
   ASSERT_TRUE(recovered.Open(dir.path()).ok());
   ExpectEngineEquals(refs.back(), &recovered, "after failed sync");
+}
+
+// --- Segmented checkpoints (storage format v2) --------------------------
+//
+// The v2 layout splits the old monolithic snapshot into one immutable
+// segment file per table plus a CRC-checked MANIFEST whose atomic
+// replace is the only commit point. These suites pin down the three
+// promises that buys: incrementality (clean tables are never
+// rewritten), crash-atomicity (a kill anywhere inside Checkpoint()
+// recovers to exactly the pre- or post-checkpoint state, never a
+// hybrid), and fail-clean corruption handling (any flipped byte turns
+// Open into a Status that names the damaged file).
+
+std::pair<int64_t, int64_t> FileMtime(const std::string& path) {
+  struct stat st {};
+  EXPECT_EQ(0, ::stat(path.c_str(), &st)) << path;
+  return {static_cast<int64_t>(st.st_mtim.tv_sec),
+          static_cast<int64_t>(st.st_mtim.tv_nsec)};
+}
+
+void FlipByteInFile(const std::string& path, size_t pos) {
+  std::string bytes = storage::ReadFileToString(path).ValueOrDie();
+  ASSERT_LT(pos, bytes.size()) << path;
+  bytes[pos] = static_cast<char>(bytes[pos] ^ 0x01);
+  ASSERT_TRUE(storage::WriteFileAtomic(path, bytes).ok());
+}
+
+std::string SegPath(const std::string& dir, const std::string& file) {
+  return storage::StorageManager::SegmentPath(dir, file);
+}
+
+// The headline acceptance test: with eight tables and one of them
+// dirty, a checkpoint rewrites exactly that table's segment plus the
+// manifest. Verified three independent ways — the stats counters, the
+// io_util write counter, and the on-disk identity (file name, CRC,
+// mtime) of the seven untouched segments.
+TEST(SegmentedCheckpoint, OneDirtyTableOfEightRewritesOneSegment) {
+  TempDir dir;
+  OrpheusDB db;
+  ASSERT_TRUE(db.Open(dir.path()).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db.db()
+                    ->AdoptTable("t" + std::to_string(i),
+                                 SampleRows(4, i * 10), {"k"})
+                    .ok());
+  }
+  ASSERT_TRUE(db.Checkpoint().ok());
+  EXPECT_EQ(8u, db.storage()->last_checkpoint_stats().segments_written);
+  EXPECT_EQ(0u, db.storage()->last_checkpoint_stats().segments_reused);
+  const storage::Manifest full = db.storage()->manifest();
+  ASSERT_EQ(8u, full.segments.size());
+
+  std::map<std::string, storage::ManifestSegment> before;
+  std::map<std::string, std::pair<int64_t, int64_t>> mtimes;
+  for (const storage::ManifestSegment& seg : full.segments) {
+    before[seg.table] = seg;
+    mtimes[seg.table] = FileMtime(SegPath(dir.path(), seg.file));
+  }
+
+  ASSERT_TRUE(db.db()->Execute("UPDATE t3 SET score = 99.5 WHERE k = 31").ok());
+  const uint64_t seg_writes =
+      storage::IoWritesIssued(storage::IoFileClass::kSegment);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  const storage::StorageManager::CheckpointStats& stats =
+      db.storage()->last_checkpoint_stats();
+  EXPECT_EQ(1u, stats.segments_written);  // only t3
+  EXPECT_EQ(7u, stats.segments_reused);
+  EXPECT_EQ(1u, stats.segments_deleted);  // t3's superseded segment
+  EXPECT_EQ(1u, storage::IoWritesIssued(storage::IoFileClass::kSegment) -
+                    seg_writes);
+
+  const storage::Manifest after = db.storage()->manifest();
+  ASSERT_EQ(8u, after.segments.size());
+  for (const storage::ManifestSegment& seg : after.segments) {
+    const storage::ManifestSegment& old = before.at(seg.table);
+    if (seg.table == "t3") {
+      EXPECT_NE(old.file, seg.file);  // fresh name — names are never reused
+    } else {
+      EXPECT_EQ(old.file, seg.file);
+      EXPECT_EQ(old.crc, seg.crc);
+      EXPECT_EQ(mtimes.at(seg.table), FileMtime(SegPath(dir.path(), seg.file)))
+          << seg.table << " was rewritten despite being clean";
+    }
+  }
+  EXPECT_FALSE(storage::FileExists(SegPath(dir.path(), before.at("t3").file)));
+
+  // The full-rewrite reference mode really does rewrite everything.
+  db.storage()->set_incremental_checkpoint(false);
+  ASSERT_TRUE(db.db()->Execute("UPDATE t3 SET score = 1.0 WHERE k = 31").ok());
+  ASSERT_TRUE(db.Checkpoint().ok());
+  EXPECT_EQ(8u, db.storage()->last_checkpoint_stats().segments_written);
+  EXPECT_EQ(0u, db.storage()->last_checkpoint_stats().segments_reused);
+}
+
+struct CheckpointFaultPlan {
+  storage::IoFileClass cls;
+  storage::IoFaultPlan fault;
+  std::string what;
+};
+
+// Every syscall the checkpoint protocol issues, as injectable kill
+// points: each segment write()/fsync, the manifest tmp-write, its
+// sync, the commit rename, and each post-commit orphan delete.
+std::vector<CheckpointFaultPlan> CheckpointKillPoints(int max_segment_ops,
+                                                      int max_deletes) {
+  std::vector<CheckpointFaultPlan> plans;
+  auto add = [&plans](storage::IoFileClass cls, storage::IoFaultPlan fault,
+                      std::string what) {
+    plans.push_back({cls, fault, std::move(what)});
+  };
+  for (int w = 1; w <= max_segment_ops; ++w) {
+    for (int64_t torn : {int64_t{-1}, int64_t{0}, int64_t{64}}) {
+      storage::IoFaultPlan p;
+      p.fail_write_at = w;
+      p.torn_bytes = torn;
+      add(storage::IoFileClass::kSegment, p,
+          "segment write #" + std::to_string(w) + " torn at " +
+              std::to_string(torn));
+    }
+    storage::IoFaultPlan s;
+    s.fail_sync_at = w;
+    add(storage::IoFileClass::kSegment, s,
+        "segment sync #" + std::to_string(w));
+  }
+  for (int64_t torn : {int64_t{-1}, int64_t{0}, int64_t{64}}) {
+    storage::IoFaultPlan p;
+    p.fail_write_at = 1;
+    p.torn_bytes = torn;
+    add(storage::IoFileClass::kManifest, p,
+        "manifest write torn at " + std::to_string(torn));
+  }
+  {
+    storage::IoFaultPlan p;
+    p.fail_sync_at = 1;
+    add(storage::IoFileClass::kManifest, p, "manifest sync");
+  }
+  {
+    storage::IoFaultPlan p;
+    p.fail_rename_at = 1;
+    add(storage::IoFileClass::kManifest, p, "manifest rename (commit point)");
+  }
+  for (int d = 1; d <= max_deletes; ++d) {
+    storage::IoFaultPlan p;
+    p.fail_delete_at = d;
+    add(storage::IoFileClass::kSegment, p,
+        "post-commit orphan delete #" + std::to_string(d));
+  }
+  return plans;
+}
+
+// Crash matrix over WAL-logged mutations: the checkout/commit pair
+// being folded also lives in the WAL, so no matter where the
+// checkpoint dies, recovery must reproduce the live pre-crash state —
+// before the manifest rename via old manifest + WAL replay, after it
+// via the new manifest + the LSN watermark skipping replayed records.
+TEST(SegmentedCheckpoint, CheckpointCrashMatrixRecoversExactState) {
+  const std::vector<CheckpointFaultPlan> plans = CheckpointKillPoints(4, 2);
+  for (int threads : {1, 4}) {
+    SetExecThreads(threads);
+    for (const CheckpointFaultPlan& plan : plans) {
+      SCOPED_TRACE(plan.what + " threads=" + std::to_string(threads));
+      TempDir dir;
+      EngineRef ref;
+      {
+        OrpheusDB db;
+        ASSERT_TRUE(db.Open(dir.path()).ok());
+        CvdOptions options;
+        options.primary_key = {"k"};
+        ASSERT_TRUE(db.InitCvd("t", SampleRows(5), options, "init").ok());
+        ASSERT_TRUE(db.Checkout("t", {1}, "w").ok());
+        ASSERT_EQ(2, db.Commit("t", "w", "v2").ValueOrDie());
+        ASSERT_TRUE(db.Checkpoint().ok());  // baseline: everything clean
+        ASSERT_TRUE(db.Checkout("t", {2}, "x").ok());
+        ASSERT_EQ(3, db.Commit("t", "x", "v3").ValueOrDie());
+        ref = Capture(&db);
+        FaultGuard guard;
+        storage::ArmIoFaults(plan.cls, plan.fault);
+        Status st = db.Checkpoint();
+        storage::DisarmIoFaults();
+        // A plan indexing past the syscalls actually issued never
+        // fires and the checkpoint simply succeeds; recovery must
+        // land on the same state either way. Manifest plans always
+        // fire — the manifest is written exactly once.
+        if (plan.cls == storage::IoFileClass::kManifest) {
+          EXPECT_FALSE(st.ok());
+        }
+      }  // engine dropped mid-protocol: the crash
+      {
+        OrpheusDB recovered;
+        ASSERT_TRUE(recovered.Open(dir.path()).ok());
+        ExpectEngineEquals(ref, &recovered, "recovered: " + plan.what);
+        // The survivor directory stays fully serviceable.
+        ASSERT_TRUE(recovered.Checkpoint().ok());
+      }
+      OrpheusDB again;
+      ASSERT_TRUE(again.Open(dir.path()).ok());
+      ExpectEngineEquals(ref, &again, "re-recovered: " + plan.what);
+    }
+  }
+  SetExecThreads(1);
+}
+
+// Crash matrix over raw catalog mutations, which are NOT WAL-logged
+// (durable only at the next checkpoint). A kill before the manifest
+// rename must recover the exact pre-checkpoint state; a kill after it
+// (orphan deletes) the exact post-checkpoint state. Both dirty tables
+// move together or not at all — never a hybrid.
+TEST(SegmentedCheckpoint, CrashLandsOnPreOrPostStateNeverHybrid) {
+  const std::vector<CheckpointFaultPlan> plans = CheckpointKillPoints(2, 2);
+  for (const CheckpointFaultPlan& plan : plans) {
+    SCOPED_TRACE(plan.what);
+    const bool post_commit = plan.fault.fail_delete_at > 0;
+    TempDir dir;
+    EngineRef pre, post;
+    {
+      OrpheusDB db;
+      ASSERT_TRUE(db.Open(dir.path()).ok());
+      for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(db.db()
+                        ->AdoptTable("t" + std::to_string(i),
+                                     SampleRows(3, i * 10), {"k"})
+                        .ok());
+      }
+      ASSERT_TRUE(db.Checkpoint().ok());
+      pre = Capture(&db);
+      ASSERT_TRUE(
+          db.db()->Execute("UPDATE t1 SET name = 'dirty' WHERE k = 10").ok());
+      ASSERT_TRUE(
+          db.db()->Execute("UPDATE t2 SET score = 0.5 WHERE k = 20").ok());
+      post = Capture(&db);
+      FaultGuard guard;
+      storage::ArmIoFaults(plan.cls, plan.fault);
+      Status st = db.Checkpoint();
+      storage::DisarmIoFaults();
+      // Two dirty tables → two segment writes/syncs and two orphan
+      // deletes, so every plan in this matrix fires.
+      ASSERT_FALSE(st.ok());
+    }
+    OrpheusDB recovered;
+    ASSERT_TRUE(recovered.Open(dir.path()).ok());
+    ExpectEngineEquals(post_commit ? post : pre, &recovered,
+                       std::string("recovered (expected ") +
+                           (post_commit ? "post" : "pre") + "): " + plan.what);
+  }
+}
+
+// Corruption sweep: a single flipped byte anywhere in any segment or
+// in the manifest — header, body, or stored CRC — must turn Open into
+// a clean error that names the damaged file. A missing referenced
+// segment likewise; an orphaned junk segment is swept silently.
+TEST(SegmentedCheckpoint, CorruptionSweepFailsCleanNamingTheFile) {
+  TempDir base;
+  EngineRef ref;
+  {
+    OrpheusDB db;
+    ASSERT_TRUE(db.Open(base.path()).ok());
+    CvdOptions options;
+    options.primary_key = {"k"};
+    ASSERT_TRUE(db.InitCvd("a", SampleRows(4), options, "init").ok());
+    ASSERT_TRUE(db.InitCvd("b", SampleRows(3, 50), options, "init").ok());
+    ASSERT_TRUE(db.Checkout("a", {1}, "w").ok());
+    ASSERT_EQ(2, db.Commit("a", "w", "v2").ValueOrDie());
+    ASSERT_TRUE(db.Checkpoint().ok());
+    ref = Capture(&db);
+  }
+  const std::vector<std::string> names =
+      storage::ListDir(SegmentsDir(base.path())).ValueOrDie();
+  ASSERT_GE(names.size(), 2u);
+  TempDir clones;
+  int id = 0;
+
+  for (const std::string& name : names) {
+    const size_t size =
+        storage::FileSize(SegmentsDir(base.path()) + "/" + name).ValueOrDie();
+    for (size_t pos : {size_t{0}, size / 2, size - 1}) {
+      SCOPED_TRACE(name + " byte " + std::to_string(pos));
+      const std::string clone = clones.Sub("seg" + std::to_string(id++));
+      CloneDbDir(base.path(), clone);
+      FlipByteInFile(SegmentsDir(clone) + "/" + name, pos);
+      OrpheusDB db;
+      Status st = db.Open(clone);
+      ASSERT_FALSE(st.ok());
+      EXPECT_NE(std::string::npos, st.message().find(name))
+          << "error does not name the corrupt file: " << st.message();
+    }
+  }
+
+  // Manifest positions: magic (0), format version (8), body length
+  // (12), stored CRC (20), body middle, last body byte.
+  const size_t msize =
+      storage::FileSize(ManifestPath(base.path())).ValueOrDie();
+  for (size_t pos : {size_t{0}, size_t{8}, size_t{12}, size_t{20},
+                     size_t{24} + (msize - 24) / 2, msize - 1}) {
+    SCOPED_TRACE("MANIFEST byte " + std::to_string(pos));
+    const std::string clone = clones.Sub("man" + std::to_string(id++));
+    CloneDbDir(base.path(), clone);
+    FlipByteInFile(ManifestPath(clone), pos);
+    OrpheusDB db;
+    Status st = db.Open(clone);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(std::string::npos, st.message().find("MANIFEST"))
+        << "error does not name the manifest: " << st.message();
+  }
+
+  {
+    SCOPED_TRACE("missing segment " + names[0]);
+    const std::string clone = clones.Sub("missing");
+    CloneDbDir(base.path(), clone);
+    ASSERT_TRUE(
+        storage::DeleteFileChecked(SegmentsDir(clone) + "/" + names[0]).ok());
+    OrpheusDB db;
+    Status st = db.Open(clone);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(std::string::npos, st.message().find(names[0]))
+        << "error does not name the missing file: " << st.message();
+  }
+
+  {
+    SCOPED_TRACE("orphaned junk segment");
+    const std::string clone = clones.Sub("orphan");
+    CloneDbDir(base.path(), clone);
+    const std::string junk = SegmentsDir(clone) + "/seg-zzzzzzzz.orps";
+    ASSERT_TRUE(storage::WriteFileAtomic(junk, "not a segment").ok());
+    OrpheusDB db;
+    ASSERT_TRUE(db.Open(clone).ok());
+    ExpectEngineEquals(ref, &db, "after orphan sweep");
+    EXPECT_FALSE(storage::FileExists(junk));  // swept at recovery
+  }
+}
+
+// A v1 directory (monolithic snapshot.orph, possibly with a WAL tail)
+// opens exactly once in legacy mode, migrates to segments on the
+// spot, and retires the old snapshot. The migrated directory is
+// stable across further reopens.
+TEST(SegmentedCheckpoint, V1SnapshotMigratesToSegmentsOnOpen) {
+  TempDir dir;
+  EngineRef ref;
+  {
+    OrpheusDB db;  // never Open()ed: builds in memory, exports v1
+    CvdOptions options;
+    options.primary_key = {"k"};
+    ASSERT_TRUE(db.InitCvd("t", SampleRows(5), options, "init").ok());
+    ASSERT_TRUE(db.Checkout("t", {1}, "w").ok());
+    ASSERT_EQ(2, db.Commit("t", "w", "v2").ValueOrDie());
+    ASSERT_TRUE(db.CreateUser("alice").ok());
+    ASSERT_TRUE(db.SaveSnapshot(dir.path()).ok());
+    ref = Capture(&db);
+  }
+  // A WAL tail past the snapshot, exactly as a v1 crash leaves it.
+  {
+    auto writer = storage::WalWriter::Open(WalPath(dir.path()), 1).ValueOrDie();
+    storage::BinaryWriter body;
+    body.PutString("bob");
+    ASSERT_TRUE(
+        writer->Append(storage::WalRecordType::kCreateUser, body.data()).ok());
+  }
+  ASSERT_TRUE(storage::FileExists(SnapPath(dir.path())));
+  ASSERT_FALSE(storage::FileExists(ManifestPath(dir.path())));
+  {
+    OrpheusDB db;
+    ASSERT_TRUE(db.Open(dir.path()).ok());
+    ExpectEngineEquals(ref, &db, "migrated");
+    EXPECT_TRUE(storage::FileExists(ManifestPath(dir.path())));
+    EXPECT_FALSE(storage::FileExists(SnapPath(dir.path())));  // retired
+    EXPECT_GE(db.storage()->manifest().segments.size(), 1u);
+    // The migration checkpoint folded the WAL tail.
+    EXPECT_EQ(0, storage::FileSize(WalPath(dir.path())).ValueOrDie());
+    EXPECT_FALSE(db.CreateUser("alice").ok());  // from the snapshot
+    EXPECT_FALSE(db.CreateUser("bob").ok());    // from the WAL tail
+  }
+  {
+    OrpheusDB db;
+    ASSERT_TRUE(db.Open(dir.path()).ok());
+    ExpectEngineEquals(ref, &db, "reopened after migration");
+    EXPECT_FALSE(db.CreateUser("bob").ok());
+  }
+}
+
+// Property test (the concurrency_test oracle idiom): two engines fed
+// an identical randomized schedule of checkouts, staged edits,
+// commits, discards, checkpoints, and crash/reopen rounds must encode
+// bit-identically under the portable v1 codec. Engine A checkpoints
+// incrementally, engine B is pinned to full rewrites — so any dirty
+// table the epoch tracking misses shows up as a byte diff here.
+TEST(SegmentedCheckpoint, PropertyIncrementalMatchesFullRewrite) {
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SetExecThreads(threads);
+    TempDir dir_a;
+    TempDir dir_b;
+    auto a = std::make_unique<OrpheusDB>();
+    auto b = std::make_unique<OrpheusDB>();
+    ASSERT_TRUE(a->Open(dir_a.path()).ok());
+    ASSERT_TRUE(b->Open(dir_b.path()).ok());
+    b->storage()->set_incremental_checkpoint(false);
+    CvdOptions options;
+    options.primary_key = {"k"};
+    for (OrpheusDB* e : {a.get(), b.get()}) {
+      ASSERT_TRUE(e->InitCvd("c0", SampleRows(6), options, "init").ok());
+      ASSERT_TRUE(e->InitCvd("c1", SampleRows(4, 100), options, "init").ok());
+    }
+    std::mt19937 rng(20260808u + static_cast<unsigned>(threads));
+    std::vector<std::pair<std::string, std::string>> staged;  // (cvd, table)
+    int serial = 0;
+    for (int round = 0; round < 60; ++round) {
+      SCOPED_TRACE("round " + std::to_string(round));
+      const int op = static_cast<int>(rng() % 10);
+      if (op < 4) {  // checkout a random version into a fresh table
+        const std::string cvd = (rng() % 2 == 0) ? "c0" : "c1";
+        const VersionId latest = a->GetCvd(cvd).value()->latest_version();
+        const VersionId v = 1 + static_cast<VersionId>(rng() % latest);
+        const std::string t = "s" + std::to_string(serial++);
+        Status sa = a->Checkout(cvd, {v}, t);
+        Status sb = b->Checkout(cvd, {v}, t);
+        ASSERT_EQ(sa.ok(), sb.ok());
+        if (sa.ok()) staged.emplace_back(cvd, t);
+      } else if (op < 7) {  // edit + commit a random staged table
+        if (staged.empty()) continue;
+        const size_t i = rng() % staged.size();
+        const auto [cvd, t] = staged[i];
+        const std::string sql = "UPDATE " + t + " SET score = " +
+                                std::to_string(round) + ".5 WHERE k >= 0";
+        ASSERT_TRUE(a->db()->Execute(sql).ok());
+        ASSERT_TRUE(b->db()->Execute(sql).ok());
+        auto ra = a->Commit(cvd, t, "m" + std::to_string(round));
+        auto rb = b->Commit(cvd, t, "m" + std::to_string(round));
+        ASSERT_EQ(ra.ok(), rb.ok());
+        if (ra.ok()) {
+          const VersionId va = ra.value();
+          const VersionId vb = rb.value();
+          ASSERT_EQ(va, vb);
+        }
+        staged.erase(staged.begin() + static_cast<ptrdiff_t>(i));
+      } else if (op == 7) {  // discard a random staged table
+        if (staged.empty()) continue;
+        const size_t i = rng() % staged.size();
+        const auto [cvd, t] = staged[i];
+        ASSERT_EQ(a->DiscardStaged(cvd, t).ok(), b->DiscardStaged(cvd, t).ok());
+        staged.erase(staged.begin() + static_cast<ptrdiff_t>(i));
+      } else if (op == 8) {  // checkpoint both
+        ASSERT_TRUE(a->Checkpoint().ok());
+        ASSERT_TRUE(b->Checkpoint().ok());
+      } else {  // crash both and recover
+        a = std::make_unique<OrpheusDB>();
+        b = std::make_unique<OrpheusDB>();
+        ASSERT_TRUE(a->Open(dir_a.path()).ok());
+        ASSERT_TRUE(b->Open(dir_b.path()).ok());
+        b->storage()->set_incremental_checkpoint(false);
+      }
+      if (round % 10 == 9) {
+        ASSERT_EQ(storage::SnapshotCodec::Encode(*a, 0),
+                  storage::SnapshotCodec::Encode(*b, 0));
+      }
+    }
+    EXPECT_EQ(storage::SnapshotCodec::Encode(*a, 0),
+              storage::SnapshotCodec::Encode(*b, 0));
+    EngineRef ref = Capture(a.get());
+    ExpectEngineEquals(ref, b.get(), "final A vs B");
+  }
+  SetExecThreads(1);
 }
 
 }  // namespace
