@@ -9,11 +9,17 @@
 //   --scale=<f>    grow the datasets by f (default 1)
 //   --threads=<n>  default scan parallelism for the non-sweep
 //                  benchmarks (0 = hardware; sweeps set their own)
+//   --json=<path>  machine-readable results (BENCH_micro.json in CI),
+//                  including a dump of the engine metrics registry
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/flags.h"
@@ -316,12 +322,64 @@ void BM_LyreSplitBudgetSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_LyreSplitBudgetSearch);
 
+// A console reporter that also keeps each finished run for the --json
+// writer (name, per-iteration times, user counters).
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    int64_t iterations = 0;
+    double real_s_per_iter = 0;
+    double cpu_s_per_iter = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Captured c;
+      c.name = run.benchmark_name();
+      c.iterations = static_cast<int64_t>(run.iterations);
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      c.real_s_per_iter = run.real_accumulated_time / iters;
+      c.cpu_s_per_iter = run.cpu_accumulated_time / iters;
+      for (const auto& kv : run.counters) {
+        c.counters.emplace_back(kv.first, static_cast<double>(kv.second));
+      }
+      captured.push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Captured> captured;
+};
+
+std::string ToJson(const std::vector<CaptureReporter::Captured>& results) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"micro\",\n  \"scale\": " << orpheus::g_micro_scale
+      << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CaptureReporter::Captured& r = results[i];
+    out << "    {\"name\": \"" << bench::JsonEscape(r.name)
+        << "\", \"iterations\": " << r.iterations
+        << ", \"real_s_per_iter\": " << r.real_s_per_iter
+        << ", \"cpu_s_per_iter\": " << r.cpu_s_per_iter;
+    for (const auto& kv : r.counters) {
+      out << ", \"" << bench::JsonEscape(kv.first) << "\": " << kv.second;
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"metrics\": " << bench::MetricsJson("  ") << "\n}\n";
+  return out.str();
+}
+
 }  // namespace
 }  // namespace orpheus
 
 // Custom main instead of BENCHMARK_MAIN(): google-benchmark strips its
 // own --benchmark_* flags, then we parse the harness flags (--scale,
-// --threads) from what remains.
+// --threads, --json) from what remains.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   orpheus::Flags flags(argc, argv);
@@ -330,7 +388,14 @@ int main(int argc, char** argv) {
   orpheus::g_micro_threads = static_cast<int>(std::min<int64_t>(
       std::max<int64_t>(threads, 0), orpheus::kMaxExecThreads));
   orpheus::SetExecThreads(orpheus::g_micro_threads);
-  benchmark::RunSpecifiedBenchmarks();
+  orpheus::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty() &&
+      !orpheus::bench::WriteJsonFile(json_path,
+                                     orpheus::ToJson(reporter.captured))) {
+    return 1;
+  }
   return 0;
 }

@@ -13,9 +13,12 @@
 // overhead, not parallel speedup).
 //
 // Usage: bench_server [--ops=<n>] [--reads=<n>] [--rows=<n>]
-//                     [--sweep=1,2,4,8] [--json=<path>]
+//                     [--sweep=1,2,4,8] [--durable] [--json=<path>]
 //
 // --json writes machine-readable results (BENCH_server.json in CI).
+// --durable backs each sweep point with a temp-dir WAL, so commits pay
+// real fdatasyncs and the scraped group-commit batch deltas become
+// meaningful (in-memory runs report them as zero).
 
 #include <fstream>
 #include <iostream>
@@ -31,6 +34,7 @@
 #include "core/engine_api.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "storage/io_util.h"
 
 using namespace orpheus;         // NOLINT
 using namespace orpheus::bench;  // NOLINT
@@ -44,7 +48,25 @@ struct SweepPoint {
   double seconds = 0;
   double commits_per_sec = 0;
   double ops_per_sec = 0;  // writes + reads
+  // Server-side deltas from `metrics` scrapes bracketing the point:
+  // time spent queued on the engine lock, and how well group commit
+  // batched the concurrent WAL appends.
+  double lock_wait_exclusive_s = 0;
+  double lock_wait_shared_s = 0;
+  double gc_batch_mean = 0;  // mean records per WAL group
+  int64_t wal_syncs = 0;
+  int64_t wal_records = 0;
 };
+
+// One `metrics` round-trip over a throwaway connection: the scrape
+// goes through the real framed protocol, like any other verb.
+Result<std::string> Scrape(uint16_t port) {
+  server::Client client;
+  ORPHEUS_RETURN_NOT_OK(client.Connect("127.0.0.1", port));
+  ORPHEUS_ASSIGN_OR_RETURN(std::string text, client.Execute("metrics"));
+  (void)client.Execute("exit");
+  return text;
+}
 
 rel::Chunk MakeRows(int n) {
   rel::Schema schema;
@@ -60,20 +82,25 @@ rel::Chunk MakeRows(int n) {
   return rows;
 }
 
-Result<SweepPoint> RunPoint(int sessions, int ops, int reads, int rows) {
+Result<SweepPoint> RunPointIn(int sessions, int ops, int reads, int rows,
+                              const std::string& db_dir) {
   SweepPoint point;
   point.sessions = sessions;
 
   core::EngineApi api;
+  if (!db_dir.empty()) ORPHEUS_RETURN_NOT_OK(api.orpheus()->Open(db_dir));
   core::CvdOptions options;
   options.primary_key = {"k"};
   ORPHEUS_RETURN_NOT_OK(
       api.orpheus()->InitCvd("bench", MakeRows(rows), options, "init").status());
 
   server::ServerOptions server_options;
-  server_options.workers = sessions;
+  // +1 worker: the before/after `metrics` scrape must not steal a
+  // handler slot from the N measured sessions.
+  server_options.workers = sessions + 1;
   server::Server srv(&api, server_options);
   ORPHEUS_RETURN_NOT_OK(srv.Start());
+  ORPHEUS_ASSIGN_OR_RETURN(std::string before, Scrape(srv.port()));
 
   std::vector<std::thread> clients;
   std::vector<Status> failures(static_cast<size_t>(sessions), Status::OK());
@@ -104,8 +131,22 @@ Result<SweepPoint> RunPoint(int sessions, int ops, int reads, int rows) {
   }
   for (std::thread& t : clients) t.join();
   point.seconds = timer.ElapsedSeconds();
+  ORPHEUS_ASSIGN_OR_RETURN(std::string after, Scrape(srv.port()));
   srv.Stop();
   for (const Status& st : failures) ORPHEUS_RETURN_NOT_OK(st);
+
+  auto delta = [&](const std::string& series) {
+    return PromValue(after, series) - PromValue(before, series);
+  };
+  point.lock_wait_exclusive_s =
+      delta("orpheus_lock_wait_seconds_sum{mode=\"exclusive\"}");
+  point.lock_wait_shared_s =
+      delta("orpheus_lock_wait_seconds_sum{mode=\"shared\"}");
+  point.wal_syncs = static_cast<int64_t>(delta("orpheus_wal_syncs_total"));
+  point.wal_records = static_cast<int64_t>(delta("orpheus_wal_records_total"));
+  const double groups = delta("orpheus_wal_group_size_count");
+  point.gc_batch_mean =
+      groups > 0 ? delta("orpheus_wal_group_size_sum") / groups : 0;
 
   point.write_ops = sessions * ops;
   point.read_ops = sessions * ops * reads;
@@ -114,13 +155,29 @@ Result<SweepPoint> RunPoint(int sessions, int ops, int reads, int rows) {
   return point;
 }
 
+// Wraps RunPointIn so the durable variant's temp directory outlives the
+// engine (flock + WAL close before the tree is deleted).
+Result<SweepPoint> RunPoint(int sessions, int ops, int reads, int rows,
+                            bool durable) {
+  std::string dir;
+  if (durable) {
+    ORPHEUS_ASSIGN_OR_RETURN(dir,
+                             storage::MakeTempDir("orpheus_bench_server_"));
+  }
+  Result<SweepPoint> point =
+      RunPointIn(sessions, ops, reads, rows, dir.empty() ? "" : dir + "/db");
+  if (!dir.empty()) (void)storage::RemoveDirRecursive(dir);
+  return point;
+}
+
 std::string ToJson(const std::vector<SweepPoint>& sweep, int ops, int reads,
-                   int rows) {
+                   int rows, bool durable) {
   std::ostringstream out;
   out << "{\n  \"bench\": \"server\",\n"
       << "  \"ops_per_session\": " << ops << ",\n"
       << "  \"reads_per_op\": " << reads << ",\n"
       << "  \"rows\": " << rows << ",\n"
+      << "  \"durable\": " << (durable ? "true" : "false") << ",\n"
       << "  \"sweep\": [\n";
   for (size_t i = 0; i < sweep.size(); ++i) {
     const SweepPoint& p = sweep[i];
@@ -128,10 +185,15 @@ std::string ToJson(const std::vector<SweepPoint>& sweep, int ops, int reads,
         << ", \"write_ops\": " << p.write_ops
         << ", \"read_ops\": " << p.read_ops << ", \"seconds\": " << p.seconds
         << ", \"commits_per_sec\": " << p.commits_per_sec
-        << ", \"ops_per_sec\": " << p.ops_per_sec << "}"
+        << ", \"ops_per_sec\": " << p.ops_per_sec
+        << ", \"lock_wait_exclusive_s\": " << p.lock_wait_exclusive_s
+        << ", \"lock_wait_shared_s\": " << p.lock_wait_shared_s
+        << ", \"gc_batch_mean\": " << p.gc_batch_mean
+        << ", \"wal_syncs\": " << p.wal_syncs
+        << ", \"wal_records\": " << p.wal_records << "}"
         << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"metrics\": " << MetricsJson("  ") << "\n}\n";
   return out.str();
 }
 
@@ -142,6 +204,7 @@ int main(int argc, char** argv) {
   const int ops = static_cast<int>(flags.GetInt("ops", 20));
   const int reads = static_cast<int>(flags.GetInt("reads", 2));
   const int rows = static_cast<int>(flags.GetInt("rows", 500));
+  const bool durable = flags.GetBool("durable", false);
 
   std::vector<int> sweep_sessions;
   for (const std::string& piece :
@@ -150,12 +213,15 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "bench_server: " << ops << " commit-ops/session, " << reads
-            << " reads/op, " << rows << " rows\n\n";
-  std::cout << "sessions  commits/s   total ops/s   wall s\n";
+            << " reads/op, " << rows << " rows"
+            << (durable ? ", durable (temp-dir WAL)" : ", in-memory")
+            << "\n\n";
+  std::cout << "sessions  commits/s   total ops/s   wall s  "
+               "lock-wait(x)  gc batch\n";
 
   std::vector<SweepPoint> sweep;
   for (int sessions : sweep_sessions) {
-    auto point = RunPoint(sessions, ops, reads, rows);
+    auto point = RunPoint(sessions, ops, reads, rows, durable);
     if (!point.ok()) {
       std::cerr << "error: sweep point " << sessions << ": "
                 << point.status().ToString() << "\n";
@@ -163,8 +229,9 @@ int main(int argc, char** argv) {
     }
     sweep.push_back(point.value());
     const SweepPoint& p = sweep.back();
-    std::printf("%8d  %9.1f  %12.1f  %7.3f\n", p.sessions, p.commits_per_sec,
-                p.ops_per_sec, p.seconds);
+    std::printf("%8d  %9.1f  %12.1f  %7.3f  %11.3fs  %8.1f\n", p.sessions,
+                p.commits_per_sec, p.ops_per_sec, p.seconds,
+                p.lock_wait_exclusive_s, p.gc_batch_mean);
   }
 
   std::cout << "\nExpected shape: commits/s roughly flat across sessions\n"
@@ -179,7 +246,7 @@ int main(int argc, char** argv) {
       std::cerr << "error: cannot write " << json_path << "\n";
       return 1;
     }
-    out << ToJson(sweep, ops, reads, rows);
+    out << ToJson(sweep, ops, reads, rows, durable);
     std::cout << "\nwrote " << json_path << "\n";
   }
   return 0;

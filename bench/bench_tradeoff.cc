@@ -12,6 +12,9 @@
 // especially at small budgets.
 
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "common/flags.h"
@@ -49,7 +52,36 @@ Result<double> MeasureCheckout(rel::Database* db, const wl::Dataset& data,
   return best;
 }
 
-Status RunPanel(const wl::DatasetSpec& spec, int sample_count) {
+// One sweep point of the Figure 9 panels, kept for --json.
+struct TradeoffPoint {
+  std::string dataset;
+  std::string algorithm;
+  std::string param;
+  size_t partitions = 0;
+  int64_t storage_records = 0;
+  double avg_checkout_records = 0;
+  double checkout_s = 0;
+};
+
+std::string ToJson(const std::vector<TradeoffPoint>& points) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"tradeoff\",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const TradeoffPoint& p = points[i];
+    out << "    {\"dataset\": \"" << JsonEscape(p.dataset)
+        << "\", \"algorithm\": \"" << p.algorithm << "\", \"param\": \""
+        << JsonEscape(p.param) << "\", \"partitions\": " << p.partitions
+        << ", \"storage_records\": " << p.storage_records
+        << ", \"avg_checkout_records\": " << p.avg_checkout_records
+        << ", \"checkout_s\": " << p.checkout_s << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"metrics\": " << MetricsJson("  ") << "\n}\n";
+  return out.str();
+}
+
+Status RunPanel(const wl::DatasetSpec& spec, int sample_count,
+                std::vector<TradeoffPoint>* points) {
   wl::Dataset data = wl::Generate(spec);
   part::BipartiteGraph bip = data.BuildBipartite();
   core::VersionGraph graph = data.BuildGraph();
@@ -77,6 +109,9 @@ Status RunPanel(const wl::DatasetSpec& spec, int sample_count) {
                   WithThousandsSep(p.storage_cost),
                   StrFormat("%.0f", p.avg_checkout_cost),
                   FormatSeconds(seconds)});
+    points->push_back({spec.Name(), "lyresplit", StrFormat("d=%.2f", delta),
+                       p.num_partitions(), p.storage_cost,
+                       p.avg_checkout_cost, seconds});
   }
   for (int64_t factor : {12, 6, 3, 2}) {
     part::AggloOptions options;
@@ -90,6 +125,10 @@ Status RunPanel(const wl::DatasetSpec& spec, int sample_count) {
                   WithThousandsSep(p.storage_cost),
                   StrFormat("%.0f", p.avg_checkout_cost),
                   FormatSeconds(seconds)});
+    points->push_back({spec.Name(), "agglo",
+                       "BC=|R|/" + std::to_string(factor),
+                       p.num_partitions(), p.storage_cost,
+                       p.avg_checkout_cost, seconds});
   }
   for (int k : {2, 4, 8, 16, 32}) {
     part::KMeansOptions options;
@@ -102,6 +141,9 @@ Status RunPanel(const wl::DatasetSpec& spec, int sample_count) {
                   WithThousandsSep(p.storage_cost),
                   StrFormat("%.0f", p.avg_checkout_cost),
                   FormatSeconds(seconds)});
+    points->push_back({spec.Name(), "kmeans", "K=" + std::to_string(k),
+                       p.num_partitions(), p.storage_cost,
+                       p.avg_checkout_cost, seconds});
   }
   table.Print();
   std::cout << "\n";
@@ -133,8 +175,9 @@ int main(int argc, char** argv) {
       make_spec(wl::WorkloadKind::kCur, 400, 40),
       make_spec(wl::WorkloadKind::kCur, 800, 50),
   };
+  std::vector<TradeoffPoint> points;
   for (const wl::DatasetSpec& spec : specs) {
-    Status st = RunPanel(spec, sample_count);
+    Status st = RunPanel(spec, sample_count, &points);
     if (!st.ok()) {
       std::cerr << "error: " << st.ToString() << "\n";
       return 1;
@@ -142,5 +185,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "Expected shape: checkout falls then flattens as S grows;"
                " at equal S, LyreSplit's Cavg/time is lowest.\n";
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty() && !WriteJsonFile(json_path, ToJson(points))) {
+    return 1;
+  }
   return 0;
 }

@@ -1,11 +1,15 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <numeric>
+#include <sstream>
 
 #include "common/rng.h"
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace orpheus::bench {
 
@@ -164,6 +168,72 @@ std::string FormatSeconds(double seconds) {
   if (seconds < 0.001) return StrFormat("%.0fus", seconds * 1e6);
   if (seconds < 1.0) return StrFormat("%.1fms", seconds * 1e3);
   return StrFormat("%.2fs", seconds);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsJson(const std::string& indent) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  auto emit = [&](const std::string& key, double value) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << indent << "  \"" << JsonEscape(key) << "\": "
+        << StrFormat("%.17g", value);
+  };
+  for (const obs::MetricPoint& point : obs::GlobalMetrics().Snapshot()) {
+    if (point.type == obs::MetricType::kHistogram) {
+      emit(point.FlatName() + "_count", static_cast<double>(point.count));
+      emit(point.FlatName() + "_sum", point.sum);
+    } else {
+      emit(point.FlatName(), point.value);
+    }
+  }
+  out << "\n" << indent << "}";
+  return out.str();
+}
+
+bool WriteJsonFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  std::cout << "\nwrote " << path << "\n";
+  return true;
+}
+
+double PromValue(const std::string& text, const std::string& series) {
+  std::istringstream in(text);
+  std::string line;
+  const std::string prefix = series + " ";
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      return std::atof(line.c_str() + prefix.size());
+    }
+  }
+  return 0;
 }
 
 std::string FormatBytes(int64_t bytes) {

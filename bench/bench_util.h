@@ -61,6 +61,32 @@ std::string FormatSeconds(double seconds);
 // "1.2 GB" / "34.5 MB" style size formatting.
 std::string FormatBytes(int64_t bytes);
 
+// --- JSON output (the --json flag every harness shares) ---
+
+// Escapes `s` for embedding inside a JSON string literal (quotes,
+// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+// Renders the process-global metrics registry as a JSON object of
+// flattened-series-name -> number entries, e.g.
+//   {"orpheus_ops_total{verb=commit}": 42, ...}
+// Histograms contribute two entries, <flat>_count and <flat>_sum.
+// Every bench embeds this under a "metrics" key so the checked-in
+// BENCH_*.json files carry the engine's own counters next to the
+// harness timings (docs/OBSERVABILITY.md). `indent` prefixes each
+// line after the first.
+std::string MetricsJson(const std::string& indent);
+
+// Writes `content` to `path` and prints "wrote <path>"; reports an
+// error and returns false when the file cannot be written.
+bool WriteJsonFile(const std::string& path, const std::string& content);
+
+// Pulls one sample out of a Prometheus text exposition (the `metrics`
+// verb's reply): the value of the line that starts "<series> ", where
+// series includes any {labels} part verbatim. Returns 0 when the
+// series is absent — scrape deltas of never-bumped counters read 0.
+double PromValue(const std::string& text, const std::string& series);
+
 }  // namespace orpheus::bench
 
 #endif  // ORPHEUS_BENCH_BENCH_UTIL_H_

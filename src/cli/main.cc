@@ -34,6 +34,12 @@
 // process into a loopback TCP server speaking the framed protocol of
 // docs/SERVER.md. --connect runs the same shell/script/-c front-ends
 // against such a server instead of an in-process engine.
+//
+// --slow-op-ms=<n> (default 100) sets the slow-op log threshold: any
+// statement slower than this lands in the slow-op ring shown by the
+// `stats` verb (docs/OBSERVABILITY.md). --metrics-dump=<file> writes
+// the Prometheus text exposition of every metric to <file> on exit —
+// the scripted/bench equivalent of the `metrics` verb.
 
 #include <csignal>
 #include <unistd.h>
@@ -47,6 +53,8 @@
 #include "cli/command_processor.h"
 #include "common/flags.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -73,6 +81,26 @@ bool ParseGroupCommit(const orpheus::Flags& flags, bool* on) {
   std::cerr << "error: --group-commit expects on or off, got '" << text
             << "'\n";
   return false;
+}
+
+// Applies the observability flags (engine-hosting modes only; a
+// --connect client's metrics live in the server process). Returns the
+// --metrics-dump path, empty when no dump was requested.
+std::string ApplyObsFlags(const orpheus::Flags& flags) {
+  double slow_ms = flags.GetDouble("slow-op-ms", 100.0);
+  orpheus::obs::GlobalTraceLog().SetSlowOpThresholdMs(slow_ms < 0 ? 0
+                                                                  : slow_ms);
+  return flags.GetString("metrics-dump", "");
+}
+
+void MaybeDumpMetrics(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write --metrics-dump=" << path << "\n";
+    return;
+  }
+  out << orpheus::obs::GlobalMetrics().RenderPrometheus();
 }
 
 // Runs one line against either a local processor or a remote client;
@@ -122,6 +150,7 @@ int RunFrontEnd(Target* target, const std::vector<std::string>& args,
 
 int ServeMain(const orpheus::Flags& flags) {
   orpheus::core::EngineApi api;
+  const std::string metrics_dump = ApplyObsFlags(flags);
   bool group_commit = true;
   if (!ParseGroupCommit(flags, &group_commit)) return 1;
   api.set_group_commit(group_commit);
@@ -167,6 +196,7 @@ int ServeMain(const orpheus::Flags& flags) {
   }
   std::cout << "orpheus server shutting down" << std::endl;
   server.Stop();
+  MaybeDumpMetrics(metrics_dump);
   return 0;
 }
 
@@ -201,6 +231,7 @@ int main(int argc, char** argv) {
   if (flags.Has("serve")) return ServeMain(flags);
 
   orpheus::cli::CommandProcessor processor;
+  const std::string metrics_dump = ApplyObsFlags(flags);
   bool group_commit = true;
   if (!ParseGroupCommit(flags, &group_commit)) return 1;
   processor.api()->set_group_commit(group_commit);
@@ -218,6 +249,8 @@ int main(int argc, char** argv) {
           static_cast<uint64_t>(flags.GetInt("wal-checkpoint-records", 0)));
     }
   }
-  return RunFrontEnd(&processor, flags.positional(),
-                     [&processor] { return processor.exited(); });
+  int rc = RunFrontEnd(&processor, flags.positional(),
+                       [&processor] { return processor.exited(); });
+  MaybeDumpMetrics(metrics_dump);
+  return rc;
 }

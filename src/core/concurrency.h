@@ -141,6 +141,14 @@ class SessionContext {
   // Monotonic counter for generated staging-table names.
   int NextStagingId() { return staging_counter_.fetch_add(1); }
 
+  // --- Op counter (per-session observability) ----------------------
+  // Statements this session has executed; shown by the `stats` verb
+  // and logged by the server on disconnect.
+  void NoteOp() { ops_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t ops_executed() const {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
   // --- Pins (session-side mirror of the SnapshotRegistry) ----------
   void RecordPin(const std::string& cvd, SessionPin pin);
   void RemovePin(const std::string& cvd);
@@ -164,6 +172,7 @@ class SessionContext {
   const uint64_t id_;
   std::atomic<bool> exited_{false};
   std::atomic<int> staging_counter_{0};
+  std::atomic<uint64_t> ops_{0};
   std::atomic<int64_t> last_active_ms_{0};
   std::atomic<uint64_t> last_durable_lsn_{0};
 

@@ -9,7 +9,10 @@
 #include "common/csv.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "core/data_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/lyresplit.h"
 #include "storage/storage_manager.h"
 
@@ -36,6 +39,8 @@ constexpr char kHelp[] =
     "  checkpoint                fold the WAL into segment files (incremental)\n"
     "  save <dir>                one-shot snapshot export (no WAL)\n"
     "  threads [<n>]             show or set scan parallelism (0 = hardware)\n"
+    "  metrics                   Prometheus text exposition of all metrics\n"
+    "  stats                     human-readable metrics + recent/slow ops\n"
     "  create_user <name> | config <name> | whoami\n"
     "  help | exit\n";
 
@@ -83,7 +88,96 @@ bool IsReadOnlySql(const std::string& sql) {
   return true;
 }
 
+// Label value for the per-verb metric families. Only known verbs get
+// their own label so a typo-spamming client can't blow up the label
+// cardinality (or inject quotes into the exposition).
+std::string VerbLabel(const std::string& trimmed) {
+  static const char* kVerbs[] = {
+      "init",    "checkout", "commit",     "discard", "diff",   "run",
+      "sql",     "ls",       "graph",      "drop",    "optimize", "pin",
+      "unpin",   "pins",     "open",       "checkpoint", "save", "threads",
+      "metrics", "stats",    "create_user", "config", "whoami", "help",
+      "exit",    "quit",     "script"};
+  size_t end = trimmed.find_first_of(" \t");
+  std::string verb = trimmed.substr(0, end);
+  for (const char* known : kVerbs) {
+    if (verb == known) return verb;
+  }
+  return "unknown";
+}
+
+obs::Histogram* LockWaitHist(bool exclusive) {
+  static obs::Histogram* sh = obs::GlobalMetrics().GetHistogram(
+      "orpheus_lock_wait_seconds",
+      "Time spent waiting for the engine-wide lock, by mode.",
+      obs::LatencyBuckets(), {{"mode", "shared"}});
+  static obs::Histogram* ex = obs::GlobalMetrics().GetHistogram(
+      "orpheus_lock_wait_seconds",
+      "Time spent waiting for the engine-wide lock, by mode.",
+      obs::LatencyBuckets(), {{"mode", "exclusive"}});
+  return exclusive ? ex : sh;
+}
+
 }  // namespace
+
+Result<std::string> EngineApi::Metrics() {
+  // Gauges sampled at scrape time; also registers the family so the
+  // very first scrape of a quiet engine is never empty.
+  obs::GlobalMetrics()
+      .GetGauge("orpheus_commit_epoch",
+                "Engine commit epoch (bumped per successful mutation).")
+      ->Set(static_cast<int64_t>(lock_.epoch()));
+  return obs::GlobalMetrics().RenderPrometheus();
+}
+
+Result<std::string> EngineApi::Stats(SessionContext* session) {
+  obs::TraceLog& log = obs::GlobalTraceLog();
+  std::string out = "== engine stats (epoch " + std::to_string(lock_.epoch()) +
+                    ", slow-op threshold " +
+                    StrFormat("%.0f", log.SlowOpThresholdMs()) + " ms) ==\n";
+  for (const obs::MetricPoint& p : obs::GlobalMetrics().Snapshot()) {
+    if (p.type == obs::MetricType::kHistogram) {
+      out += StrFormat("%-55s count=%llu sum=%.6fs\n", p.FlatName().c_str(),
+                       static_cast<unsigned long long>(p.count), p.sum);
+    } else {
+      out += StrFormat("%-55s %.0f\n", p.FlatName().c_str(), p.value);
+    }
+  }
+  out += "\n== this session ==\nid " + std::to_string(session->id()) +
+         ", user " + session->user() + ", ops " +
+         std::to_string(session->ops_executed()) + "\n";
+
+  auto render_ops = [](const std::vector<obs::OpTrace>& ops, size_t max_rows) {
+    std::string s =
+        "id       sess verb         total_ms parse    lockwait executed "
+        "walenq   gcsync   ckpt     ok\n";
+    size_t start = ops.size() > max_rows ? ops.size() - max_rows : 0;
+    for (size_t i = start; i < ops.size(); ++i) {
+      const obs::OpTrace& op = ops[i];
+      s += StrFormat("%-8llu %-4llu %-12s %8.2f",
+                     static_cast<unsigned long long>(op.id),
+                     static_cast<unsigned long long>(op.session_id),
+                     op.verb.c_str(), op.total_s * 1e3);
+      for (int stage = 0; stage < obs::kTraceStageCount; ++stage) {
+        s += StrFormat(" %8.2f", op.stage_s[stage] * 1e3);
+      }
+      s += op.ok ? " ok\n" : " ERR\n";
+    }
+    return s;
+  };
+  out += "\n== recent ops (stage times in ms; " +
+         std::to_string(log.TotalRecorded()) + " recorded) ==\n";
+  out += render_ops(log.Recent(), 10);
+  std::vector<obs::OpTrace> slow = log.SlowOps();
+  out += "\n== slow ops (>= " + StrFormat("%.0f", log.SlowOpThresholdMs()) +
+         " ms; " + std::to_string(slow.size()) + " kept) ==\n";
+  if (slow.empty()) {
+    out += "(none)\n";
+  } else {
+    out += render_ops(slow, 20);
+  }
+  return out;
+}
 
 std::shared_ptr<SessionContext> EngineApi::NewSession() {
   return std::make_shared<SessionContext>(next_session_id_.fetch_add(1));
@@ -126,11 +220,28 @@ Result<std::string> EngineApi::Execute(SessionContext* session,
   session->Touch();
   std::string trimmed(Trim(line));
   if (trimmed.empty() || trimmed[0] == '#') return std::string();
-  std::vector<std::string> args = SplitWhitespace(trimmed);
+  // One trace scope per statement: every TraceSpan below (and inside
+  // storage, which runs on this thread) charges its stage to this op.
+  obs::ActiveOpScope op_scope(VerbLabel(trimmed), session->id());
+  session->NoteOp();
+  Result<std::string> result = ExecuteParsed(session, trimmed);
+  op_scope.set_ok(result.ok());
+  return result;
+}
+
+Result<std::string> EngineApi::ExecuteParsed(SessionContext* session,
+                                             const std::string& trimmed) {
+  std::vector<std::string> args;
+  {
+    obs::TraceSpan parse_span(obs::TraceStage::kParse);
+    args = SplitWhitespace(trimmed);
+  }
   const std::string& cmd = args[0];
 
   // --- Lock-free commands: session-local state only -----------------
   if (cmd == "help") return std::string(kHelp);
+  if (cmd == "metrics") return Metrics();
+  if (cmd == "stats") return Stats(session);
   if (cmd == "exit" || cmd == "quit") {
     session->set_exited();
     return std::string("bye");
@@ -167,7 +278,14 @@ Result<std::string> EngineApi::Execute(SessionContext* session,
     shared = IsReadOnlySql(sql);
   }
   if (shared) {
-    std::shared_lock<std::shared_mutex> lock(lock_.mu());
+    std::shared_lock<std::shared_mutex> lock(lock_.mu(), std::defer_lock);
+    {
+      obs::TraceSpan wait_span(obs::TraceStage::kLockWait);
+      WallTimer wait;
+      lock.lock();
+      LockWaitHist(/*exclusive=*/false)->Observe(wait.ElapsedSeconds());
+    }
+    obs::TraceSpan exec_span(obs::TraceStage::kExecute);
     if (cmd == "ls") {
       std::vector<std::string> names = orpheus_.ListCvds();
       return names.empty() ? "(no CVDs)" : Join(names, "\n");
@@ -197,7 +315,14 @@ Result<std::string> EngineApi::Execute(SessionContext* session,
   uint64_t sync_head = 0;  // durable WAL head when group commit is off
   Result<std::string> result = std::string();
   {
-    std::unique_lock<std::shared_mutex> lock(lock_.mu());
+    std::unique_lock<std::shared_mutex> lock(lock_.mu(), std::defer_lock);
+    {
+      obs::TraceSpan wait_span(obs::TraceStage::kLockWait);
+      WallTimer wait;
+      lock.lock();
+      LockWaitHist(/*exclusive=*/true)->Observe(wait.ElapsedSeconds());
+    }
+    obs::TraceSpan exec_span(obs::TraceStage::kExecute);
     if (orpheus_.durable()) {
       orpheus_.storage()->SetGroupCommit(group_commit_.load());
     }
@@ -279,6 +404,7 @@ Result<std::string> EngineApi::Execute(SessionContext* session,
     if (result.ok()) lock_.BumpEpoch();
   }
   if (!tickets.empty()) {
+    obs::TraceSpan sync_span(obs::TraceStage::kGroupCommitSync);
     Status durable = orpheus_.storage()->WaitDurable(tickets);
     if (!durable.ok()) {
       // The in-memory apply succeeded but the record never reached

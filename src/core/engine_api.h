@@ -85,6 +85,16 @@ class EngineApi {
   bool group_commit() const { return group_commit_.load(); }
 
  private:
+  // Execute() minus the per-op trace scope: dispatches one already
+  // trimmed statement.
+  Result<std::string> ExecuteParsed(SessionContext* session,
+                                    const std::string& trimmed);
+
+  // Observability verbs (lock-free; the registry and trace log are
+  // internally synchronized).
+  Result<std::string> Metrics();
+  Result<std::string> Stats(SessionContext* session);
+
   // Command handlers; called with the appropriate engine lock held.
   Result<std::string> Init(SessionContext* session,
                            const std::vector<std::string>& args);

@@ -1,0 +1,271 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace orpheus {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+
+// %g keeps boundaries like 0.0025 and 10 in their natural short form.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// {k="v",...} with the trailing label appended when non-empty; used
+// for both exposition lines and family child keys.
+std::string RenderLabels(const LabelSet& labels, const std::string& extra_key,
+                         const std::string& extra_val) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += kv.first + "=\"" + EscapeLabelValue(kv.second) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key + "=\"" + extra_val + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+int ThreadShard() {
+  static thread_local int shard = static_cast<int>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards);
+  return shard;
+}
+}  // namespace internal
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), shards_(internal::kShards) {
+  for (auto& s : shards_) {
+    s.cells = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) s.cells[i] = 0;
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1, 0);
+  for (const auto& s : shards_) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      counts[i] += s.cells[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+double Histogram::Sum() const {
+  int64_t micro = 0;
+  for (const auto& s : shards_)
+    micro += s.sum_micro.load(std::memory_order_relaxed);
+  return static_cast<double>(micro) * 1e-6;
+}
+
+std::vector<double> LatencyBuckets() {
+  return {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+          2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0};
+}
+
+std::vector<double> SizeBuckets() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+std::string MetricPoint::FlatName() const {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += kv.first + "=" + kv.second;
+  }
+  out.push_back('}');
+  return out;
+}
+
+MetricsRegistry::Family* MetricsRegistry::GetFamily(
+    const std::string& name, MetricType type, const std::string& help,
+    const std::vector<double>& bounds) {
+  Family& fam = families_[name];
+  if (fam.children.empty() && fam.help.empty()) {
+    fam.type = type;
+    fam.help = help;
+    fam.bounds = bounds;
+  }
+  return &fam;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, MetricType::kCounter, help, {});
+  const std::string key = RenderLabels(labels, "", "");
+  auto it = fam->by_label.find(key);
+  if (it != fam->by_label.end()) return fam->counters[it->second].get();
+  fam->counters.push_back(std::make_unique<Counter>());
+  const size_t idx = fam->counters.size() - 1;
+  fam->by_label[key] = idx;
+  fam->children.emplace_back(labels, idx);
+  return fam->counters[idx].get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, MetricType::kGauge, help, {});
+  const std::string key = RenderLabels(labels, "", "");
+  auto it = fam->by_label.find(key);
+  if (it != fam->by_label.end()) return fam->gauges[it->second].get();
+  fam->gauges.push_back(std::make_unique<Gauge>());
+  const size_t idx = fam->gauges.size() - 1;
+  fam->by_label[key] = idx;
+  fam->children.emplace_back(labels, idx);
+  return fam->gauges[idx].get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const std::vector<double>& bounds,
+                                         const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* fam = GetFamily(name, MetricType::kHistogram, help, bounds);
+  const std::string key = RenderLabels(labels, "", "");
+  auto it = fam->by_label.find(key);
+  if (it != fam->by_label.end()) return fam->histograms[it->second].get();
+  fam->histograms.push_back(std::make_unique<Histogram>(fam->bounds));
+  const size_t idx = fam->histograms.size() - 1;
+  fam->by_label[key] = idx;
+  fam->children.emplace_back(labels, idx);
+  return fam->histograms[idx].get();
+}
+
+std::vector<MetricPoint> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricPoint> out;
+  for (const auto& entry : families_) {
+    const Family& fam = entry.second;
+    for (const auto& child : fam.children) {
+      MetricPoint p;
+      p.name = entry.first;
+      p.type = fam.type;
+      p.labels = child.first;
+      switch (fam.type) {
+        case MetricType::kCounter:
+          p.value = static_cast<double>(fam.counters[child.second]->Value());
+          break;
+        case MetricType::kGauge:
+          p.value = static_cast<double>(fam.gauges[child.second]->Value());
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *fam.histograms[child.second];
+          p.bounds = h.bounds();
+          p.bucket_counts = h.BucketCounts();
+          p.count = h.Count();
+          p.sum = h.Sum();
+          break;
+        }
+      }
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& entry : families_) {
+    const std::string& name = entry.first;
+    const Family& fam = entry.second;
+    if (fam.children.empty()) continue;
+    const char* type_str = fam.type == MetricType::kCounter   ? "counter"
+                           : fam.type == MetricType::kGauge   ? "gauge"
+                                                              : "histogram";
+    out << "# HELP " << name << " " << fam.help << "\n";
+    out << "# TYPE " << name << " " << type_str << "\n";
+    for (const auto& child : fam.children) {
+      const LabelSet& labels = child.first;
+      switch (fam.type) {
+        case MetricType::kCounter:
+          out << name << RenderLabels(labels, "", "") << " "
+              << fam.counters[child.second]->Value() << "\n";
+          break;
+        case MetricType::kGauge:
+          out << name << RenderLabels(labels, "", "") << " "
+              << fam.gauges[child.second]->Value() << "\n";
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *fam.histograms[child.second];
+          const std::vector<uint64_t> counts = h.BucketCounts();
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += counts[i];
+            out << name << "_bucket"
+                << RenderLabels(labels, "le", FormatDouble(h.bounds()[i]))
+                << " " << cumulative << "\n";
+          }
+          cumulative += counts.back();
+          out << name << "_bucket" << RenderLabels(labels, "le", "+Inf")
+              << " " << cumulative << "\n";
+          out << name << "_sum" << RenderLabels(labels, "", "") << " "
+              << FormatDouble(h.Sum()) << "\n";
+          out << name << "_count" << RenderLabels(labels, "", "") << " "
+              << cumulative << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace orpheus

@@ -1,0 +1,195 @@
+// Engine-wide metrics: named counters, gauges, and fixed-bucket
+// histograms, exposed as Prometheus text exposition v0.0.4.
+//
+// Hot-path cost is one relaxed atomic add: counters and histograms
+// shard their cells across cache-line-padded slots indexed by a hash
+// of the calling thread's id, and the shards are merged only at
+// scrape time. Metric handles returned by the registry are stable
+// for the registry's lifetime, so call sites look them up once
+// (static local) and then just Inc()/Observe().
+#ifndef ORPHEUS_OBS_METRICS_H_
+#define ORPHEUS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace orpheus {
+namespace obs {
+
+// Runtime kill switch for all instrumentation. Inc()/Observe() load
+// it relaxed and return early when off; benches flip it to measure
+// instrumentation overhead against a hot path with the same code
+// shape but no atomic traffic.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+namespace internal {
+constexpr int kShards = 8;
+constexpr int kCacheLine = 64;
+
+struct alignas(kCacheLine) PaddedCell {
+  std::atomic<uint64_t> value{0};
+  char pad[kCacheLine - sizeof(std::atomic<uint64_t>)];
+};
+
+// Stable per-thread shard index (hash of thread id).
+int ThreadShard();
+}  // namespace internal
+
+// Monotonic counter.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    IncAlways(delta);
+  }
+  // Bypasses the SetMetricsEnabled gate — for counters that double as
+  // test oracles (the fault-injection syscall totals) and must stay
+  // exact even while instrumentation is switched off.
+  void IncAlways(uint64_t delta = 1) {
+    shards_[internal::ThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_)
+      total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  internal::PaddedCell shards_[internal::kShards];
+};
+
+// Instantaneous value (may go down).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. Bucket counts are per-bucket non-cumulative
+// internally and cumulated at scrape time, per the exposition format.
+// The sum is kept in integer micro-units because C++17 has no
+// atomic<double>::fetch_add.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v) {
+    if (!MetricsEnabled()) return;
+    const int shard = internal::ThreadShard();
+    Shard& s = shards_[shard];
+    s.cells[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum_micro.fetch_add(static_cast<int64_t>(v * 1e6 + 0.5),
+                          std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) counts, merged across shards;
+  // size() == bounds().size() + 1, last entry is the +Inf bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const;
+  double Sum() const;
+
+ private:
+  size_t BucketIndex(double v) const {
+    size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    return i;
+  }
+
+  struct alignas(internal::kCacheLine) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> cells;
+    std::atomic<int64_t> sum_micro{0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+// Default bucket ladders.
+std::vector<double> LatencyBuckets();  // seconds, 100us .. 10s
+std::vector<double> SizeBuckets();     // powers of two, 1 .. 256
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+// One labeled series in a scrape snapshot.
+struct MetricPoint {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  LabelSet labels;
+  double value = 0;                      // counter / gauge
+  std::vector<double> bounds;            // histogram
+  std::vector<uint64_t> bucket_counts;   // non-cumulative, +Inf last
+  uint64_t count = 0;                    // histogram
+  double sum = 0;                        // histogram
+
+  // "name{k=v,...}" — stable flattened key for JSON dumps.
+  std::string FlatName() const;
+};
+
+// A named family of metrics, one child per label set. Registration
+// takes a mutex; the returned pointers are stable, so hot paths
+// register once and hit only the lock-free child.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const LabelSet& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const std::vector<double>& bounds,
+                          const LabelSet& labels = {});
+
+  std::vector<MetricPoint> Snapshot() const;
+  // Prometheus text exposition v0.0.4.
+  std::string RenderPrometheus() const;
+
+ private:
+  struct Family {
+    MetricType type;
+    std::string help;
+    std::vector<double> bounds;  // histograms only
+    // Label sets in registration order; map key is the serialized set.
+    std::vector<std::pair<LabelSet, size_t>> children;
+    std::map<std::string, size_t> by_label;
+    std::vector<std::unique_ptr<Counter>> counters;
+    std::vector<std::unique_ptr<Gauge>> gauges;
+    std::vector<std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family* GetFamily(const std::string& name, MetricType type,
+                    const std::string& help,
+                    const std::vector<double>& bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+// The process-wide registry used by all engine instrumentation.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace obs
+}  // namespace orpheus
+
+#endif  // ORPHEUS_OBS_METRICS_H_

@@ -7,12 +7,42 @@
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 #include "relstore/database.h"
 #include "relstore/eval.h"
 
 namespace orpheus::rel {
 
 namespace {
+
+// Executor-only registry series (rows/probes/pages mirror through
+// ExecStatCell in executor.h). Cached lookup; per-call cost is one
+// relaxed add.
+obs::Counter* BatchCounter() {
+  static obs::Counter* c = obs::GlobalMetrics().GetCounter(
+      "orpheus_exec_batches_total",
+      "Scan batches dispatched by the batched operators.");
+  return c;
+}
+
+// Wall time per operator, observed on scope exit.
+class OperatorTimer {
+ public:
+  explicit OperatorTimer(const char* op) : hist_(Hist(op)) {}
+  ~OperatorTimer() { hist_->Observe(timer_.ElapsedSeconds()); }
+  OperatorTimer(const OperatorTimer&) = delete;
+  OperatorTimer& operator=(const OperatorTimer&) = delete;
+
+ private:
+  static obs::Histogram* Hist(const char* op) {
+    return obs::GlobalMetrics().GetHistogram(
+        "orpheus_exec_operator_seconds", "Wall time per executor operator.",
+        obs::LatencyBuckets(), {{"op", op}});
+  }
+  obs::Histogram* hist_;
+  WallTimer timer_;
+};
 
 // Scan batches covering n rows; must agree with ParallelBatchFor's
 // decomposition, hence the shared helper.
@@ -149,6 +179,7 @@ template <typename Map, typename BuildFn>
 Status BatchedHashBuild(size_t total, bool serial, Map* hash,
                         const BuildFn& build) {
   const size_t nb = NumScanBatches(total);
+  BatchCounter()->Inc(nb);
   if (serial || nb <= 1) {
     build(0, total, hash);
     return Status::OK();
@@ -171,6 +202,7 @@ template <typename ProbeFn>
 Status BatchedProbe(size_t total, bool serial, const ProbeFn& probe,
                     std::vector<uint32_t>* lidx, std::vector<uint32_t>* ridx) {
   const size_t nb = NumScanBatches(total);
+  BatchCounter()->Inc(nb);
   if (serial || nb <= 1) {
     MatchList out;
     probe(0, total, &out);
@@ -214,6 +246,8 @@ Status Executor::FilterSelection(const Evaluator& eval,
                                  std::vector<uint32_t>* sel) {
   const size_t n = data.num_rows();
   const size_t nb = NumScanBatches(n);
+  OperatorTimer op_timer("filter");
+  BatchCounter()->Inc(nb);
   auto filter_range = [&](size_t begin, size_t end,
                           std::vector<uint32_t>* out) -> Status {
     for (size_t row = begin; row < end; ++row) {
@@ -343,6 +377,7 @@ Result<Executor::Input> Executor::JoinInputs(std::vector<Input> inputs,
 Result<Executor::Input> Executor::JoinPair(
     Input left, Input right,
     const std::vector<std::pair<const Expr*, const Expr*>>& keys) {
+  OperatorTimer op_timer("join");
   ExecStats* stats = db_->stats();
   // With one thread the per-batch buffers and their batch-order merges
   // are pure overhead, so every phase below takes its direct serial
@@ -786,6 +821,7 @@ Result<Chunk> Executor::RunSelect(const SelectStmt& select) {
         // buffers, then the permutation is sorted with the
         // deterministic parallel merge sort (thread_pool.h) — same
         // result as a serial stable_sort at every thread count.
+        OperatorTimer op_timer("sort");
         std::vector<std::vector<Value>> keys(sel.size());
         ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
             sel.size(), kScanBatchRows,
@@ -969,6 +1005,7 @@ Result<Chunk> Executor::Project(const SelectStmt& select, const Input& input,
 
 Result<Chunk> Executor::Aggregate(const SelectStmt& select, const Input& input,
                                   const std::vector<uint32_t>& sel) {
+  OperatorTimer op_timer("aggregate");
   const Chunk& data = *input.data;
   const Schema& schema = input.schema;
   Evaluator eval(this);
@@ -1253,6 +1290,7 @@ Status Executor::ApplyOrderByLimit(const SelectStmt& select, Chunk* out) {
     }
     // Precompute sort keys batch-parallel, then sort the permutation
     // with the deterministic parallel merge sort (thread_pool.h).
+    OperatorTimer op_timer("sort");
     std::vector<std::vector<Value>> keys(out->num_rows());
     ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
         out->num_rows(), kScanBatchRows,

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "relstore/chunk.h"
 #include "relstore/sql_ast.h"
 #include "relstore/table.h"
@@ -75,6 +76,30 @@ enum class JoinMethod {
   kIndexNestedLoop,  // probe a base-table index per outer row
 };
 
+// One logical execution counter: a per-Database atomic (the resettable
+// oracle the benches and tests diff) that mirrors every bump into a
+// process-wide metrics-registry counter, so the engine's `metrics`
+// scrape sees executor activity without a second set of call sites.
+class ExecStatCell {
+ public:
+  ExecStatCell(const char* metric_name, const char* help)
+      : metric_(obs::GlobalMetrics().GetCounter(metric_name, help)) {}
+
+  void operator+=(int64_t delta) {
+    local_.fetch_add(delta, std::memory_order_relaxed);
+    metric_->Inc(static_cast<uint64_t>(delta));
+  }
+  operator int64_t() const {  // NOLINT(google-explicit-constructor)
+    return local_.load(std::memory_order_relaxed);
+  }
+  // Resets the local oracle only; registry counters are monotonic.
+  void Reset() { local_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> local_{0};
+  obs::Counter* metric_;
+};
+
 // Logical execution counters, cumulative until Reset(). Updated by
 // each statement's coordinating thread (never from scan workers),
 // after each operator. Relaxed atomics: concurrent read-only
@@ -82,13 +107,20 @@ enum class JoinMethod {
 // several coordinator threads at once; individual counters stay exact,
 // cross-counter consistency is best-effort.
 struct ExecStats {
-  std::atomic<int64_t> rows_scanned{0};  // rows examined by scans and probes
-  std::atomic<int64_t> index_probes{0};  // point lookups into table indexes
-  std::atomic<int64_t> pages_read{0};    // modeled 8 KiB page touches
+  // rows examined by scans and probes
+  ExecStatCell rows_scanned{"orpheus_exec_rows_scanned_total",
+                            "Rows scanned by the executor."};
+  // point lookups into table indexes
+  ExecStatCell index_probes{
+      "orpheus_exec_index_probes_total",
+      "Primary-index probes issued by index-nested-loop joins."};
+  // modeled 8 KiB page touches
+  ExecStatCell pages_read{"orpheus_exec_pages_read_total",
+                          "Logical pages touched by scans."};
   void Reset() {
-    rows_scanned = 0;
-    index_probes = 0;
-    pages_read = 0;
+    rows_scanned.Reset();
+    index_probes.Reset();
+    pages_read.Reset();
   }
 };
 

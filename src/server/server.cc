@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
 #include "server/protocol.h"
 
 namespace orpheus::server {
@@ -17,6 +18,38 @@ namespace {
 // Handler tick: how often a blocked handler re-checks the stop flag
 // and its idle deadline.
 constexpr int kPollMs = 100;
+
+// Server-layer metrics. Frames/bytes are counted here rather than in
+// protocol.cc so that the client side of an in-process test does not
+// double-count the server's traffic.
+struct ServerMetrics {
+  obs::Counter* sessions_opened;
+  obs::Counter* sessions_closed;
+  obs::Gauge* sessions_active;
+  obs::Counter* frames_in;
+  obs::Counter* frames_out;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+};
+
+const ServerMetrics& SM() {
+  obs::MetricsRegistry& reg = obs::GlobalMetrics();
+  static const ServerMetrics m = {
+      reg.GetCounter("orpheus_sessions_opened_total",
+                     "Server sessions accepted."),
+      reg.GetCounter("orpheus_sessions_closed_total",
+                     "Server sessions closed."),
+      reg.GetGauge("orpheus_sessions_active", "Currently connected sessions."),
+      reg.GetCounter("orpheus_frames_total", "Protocol frames, by direction.",
+                     {{"dir", "in"}}),
+      reg.GetCounter("orpheus_frames_total", "Protocol frames, by direction.",
+                     {{"dir", "out"}}),
+      reg.GetCounter("orpheus_net_bytes_total",
+                     "Frame payload bytes, by direction.", {{"dir", "in"}}),
+      reg.GetCounter("orpheus_net_bytes_total",
+                     "Frame payload bytes, by direction.", {{"dir", "out"}})};
+  return m;
+}
 
 }  // namespace
 
@@ -85,9 +118,15 @@ void Server::AcceptLoop() {
 
 void Server::HandleConnection(int fd) {
   std::shared_ptr<core::SessionContext> session = sessions_.Create();
+  SM().sessions_opened->Inc();
+  SM().sessions_active->Add(1);
   std::string hello = std::string(kHelloPrefix) + " session " +
                       std::to_string(session->id());
   bool alive = WriteFrame(fd, hello).ok();
+  if (alive) {
+    SM().frames_out->Inc();
+    SM().bytes_out->Inc(hello.size());
+  }
 
   while (alive && !stopping_.load(std::memory_order_acquire)) {
     // Wait for a request with a short tick so shutdown and the idle
@@ -104,18 +143,26 @@ void Server::HandleConnection(int fd) {
     }
     Result<std::string> request = ReadFrame(fd);
     if (!request.ok()) break;  // EOF or protocol violation
+    SM().frames_in->Inc();
+    SM().bytes_in->Inc(request.value().size());
 
     Result<std::string> result = api_->Execute(session.get(), request.value());
     bool closed = session->exited();
-    Status write_st =
-        result.ok() ? WriteFrame(fd, EncodeResponse(Status::OK(), closed,
-                                                    result.value()))
-                    : WriteFrame(fd, EncodeResponse(result.status(), closed,
-                                                    std::string_view()));
+    std::string response =
+        result.ok() ? EncodeResponse(Status::OK(), closed, result.value())
+                    : EncodeResponse(result.status(), closed,
+                                     std::string_view());
+    Status write_st = WriteFrame(fd, response);
+    if (write_st.ok()) {
+      SM().frames_out->Inc();
+      SM().bytes_out->Inc(response.size());
+    }
     alive = write_st.ok() && !closed;
   }
 
   sessions_.Close(session->id());
+  SM().sessions_closed->Inc();
+  SM().sessions_active->Add(-1);
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.erase(fd);

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace orpheus::storage {
 
 namespace {
@@ -308,8 +310,6 @@ struct FaultSlot {
   std::atomic<uint64_t> plan_syncs{0};
   std::atomic<uint64_t> plan_renames{0};
   std::atomic<uint64_t> plan_deletes{0};
-  std::atomic<uint64_t> total_writes{0};  // since process start
-  std::atomic<uint64_t> total_syncs{0};
 };
 
 std::mutex g_fault_mu;  // guards every slot's plan
@@ -317,6 +317,45 @@ FaultSlot g_fault_slots[kNumIoFileClasses];
 
 FaultSlot& Slot(IoFileClass cls) {
   return g_fault_slots[static_cast<int>(cls)];
+}
+
+// The process-wide write()/sync totals per class live in the metrics
+// registry (orpheus_io_{writes,syncs}_total{class=...}); these cached
+// lookups keep the hot-path cost at one relaxed atomic add. They are
+// bumped with IncAlways(): the totals double as test oracles for the
+// sync-accounting assertions and must not pause when a bench flips
+// SetMetricsEnabled(false).
+obs::Counter* IoWriteCounter(IoFileClass cls) {
+  static obs::Counter* counters[kNumIoFileClasses] = {
+      obs::GlobalMetrics().GetCounter(
+          "orpheus_io_writes_total",
+          "write() calls issued per durable file class.", {{"class", "wal"}}),
+      obs::GlobalMetrics().GetCounter(
+          "orpheus_io_writes_total",
+          "write() calls issued per durable file class.",
+          {{"class", "segment"}}),
+      obs::GlobalMetrics().GetCounter(
+          "orpheus_io_writes_total",
+          "write() calls issued per durable file class.",
+          {{"class", "manifest"}})};
+  return counters[static_cast<int>(cls)];
+}
+
+obs::Counter* IoSyncCounter(IoFileClass cls) {
+  static obs::Counter* counters[kNumIoFileClasses] = {
+      obs::GlobalMetrics().GetCounter(
+          "orpheus_io_syncs_total",
+          "fsync()/fdatasync() calls issued per durable file class.",
+          {{"class", "wal"}}),
+      obs::GlobalMetrics().GetCounter(
+          "orpheus_io_syncs_total",
+          "fsync()/fdatasync() calls issued per durable file class.",
+          {{"class", "segment"}}),
+      obs::GlobalMetrics().GetCounter(
+          "orpheus_io_syncs_total",
+          "fsync()/fdatasync() calls issued per durable file class.",
+          {{"class", "manifest"}})};
+  return counters[static_cast<int>(cls)];
 }
 
 }  // namespace
@@ -338,12 +377,12 @@ void DisarmIoFaults() {
   }
 }
 
-uint64_t IoWritesIssued(IoFileClass cls) { return Slot(cls).total_writes.load(); }
-uint64_t IoSyncsIssued(IoFileClass cls) { return Slot(cls).total_syncs.load(); }
+uint64_t IoWritesIssued(IoFileClass cls) { return IoWriteCounter(cls)->Value(); }
+uint64_t IoSyncsIssued(IoFileClass cls) { return IoSyncCounter(cls)->Value(); }
 
 bool NextIoWriteFails(IoFileClass cls, int64_t* torn_bytes) {
   FaultSlot& s = Slot(cls);
-  s.total_writes.fetch_add(1);
+  IoWriteCounter(cls)->IncAlways();
   *torn_bytes = -1;
   if (!s.armed.load(std::memory_order_acquire)) return false;
   std::lock_guard<std::mutex> lock(g_fault_mu);
@@ -358,7 +397,7 @@ bool NextIoWriteFails(IoFileClass cls, int64_t* torn_bytes) {
 
 bool NextIoSyncFails(IoFileClass cls) {
   FaultSlot& s = Slot(cls);
-  s.total_syncs.fetch_add(1);
+  IoSyncCounter(cls)->IncAlways();
   if (!s.armed.load(std::memory_order_acquire)) return false;
   int delay_ms = 0;
   bool fail = false;

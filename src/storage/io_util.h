@@ -252,7 +252,9 @@ void DisarmIoFaults();
 // startup, counted whether or not a plan is armed — the sync-counter
 // assertions ("N concurrent commits cost < N syncs") and the
 // incremental-checkpoint assertions ("1 dirty table = 1 segment
-// write") diff these.
+// write") diff these. The totals live in the metrics registry
+// (orpheus_io_{writes,syncs}_total{class=...}); these accessors are
+// thin reads of the same counters, kept for the tests.
 uint64_t IoWritesIssued(IoFileClass cls);
 uint64_t IoSyncsIssued(IoFileClass cls);
 

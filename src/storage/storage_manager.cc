@@ -7,6 +7,8 @@
 
 #include "common/thread_pool.h"
 #include "core/orpheus.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/io_util.h"
 #include "storage/segment.h"
 #include "storage/snapshot.h"
@@ -336,6 +338,7 @@ Status StorageManager::FlushPending() {
 
 Status StorageManager::AppendChecked(WalRecordType type,
                                      std::string_view body) {
+  obs::TraceSpan enqueue_span(obs::TraceStage::kWalEnqueue);
   bool over_bytes = false;
   bool over_records = false;
   bool grouped;
@@ -372,6 +375,7 @@ Status StorageManager::AppendChecked(WalRecordType type,
 }
 
 Status StorageManager::Checkpoint() {
+  obs::TraceSpan checkpoint_span(obs::TraceStage::kCheckpoint);
   ORPHEUS_RETURN_NOT_OK(FlushPending());
 
   Manifest next;
@@ -435,6 +439,20 @@ Status StorageManager::Checkpoint() {
   manifest_ = std::move(next);
   clean_epochs_ = std::move(observed_epochs);
   last_stats_ = stats;
+
+  // CheckpointStats promoted into the registry: last_stats_ stays the
+  // per-checkpoint view, these accumulate across the process.
+  obs::MetricsRegistry& reg = obs::GlobalMetrics();
+  reg.GetCounter("orpheus_checkpoints_total", "Checkpoints committed.")->Inc();
+  reg.GetCounter("orpheus_checkpoint_segments_written_total",
+                 "Segment files rewritten by checkpoints.")
+      ->Inc(static_cast<uint64_t>(stats.segments_written));
+  reg.GetCounter("orpheus_checkpoint_segments_reused_total",
+                 "Clean segment files carried over by checkpoints.")
+      ->Inc(static_cast<uint64_t>(stats.segments_reused));
+  reg.GetCounter("orpheus_checkpoint_bytes_written_total",
+                 "Segment bytes written by checkpoints.")
+      ->Inc(static_cast<uint64_t>(stats.bytes_written));
 
   // Cleanup after the commit point: failures here leave orphans (or a
   // stale-but-skipped WAL), both harmless and retried later.

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "storage/io_util.h"
 
 namespace orpheus::storage {
@@ -15,6 +16,31 @@ namespace {
 
 constexpr size_t kFrameHeaderBytes = 8;   // u32 length + u32 crc
 constexpr size_t kPayloadHeaderBytes = 9;  // u64 lsn + u8 type
+
+struct WalMetrics {
+  obs::Counter* bytes_written;
+  obs::Counter* records;
+  obs::Counter* syncs;
+  obs::Histogram* group_size;
+};
+
+// Registered once; every WalWriter in the process feeds the same
+// counters (the registry is process-global, like the io_util totals).
+const WalMetrics& GetWalMetrics() {
+  static const WalMetrics m = {
+      obs::GlobalMetrics().GetCounter("orpheus_wal_bytes_written_total",
+                                      "Bytes appended to the WAL."),
+      obs::GlobalMetrics().GetCounter("orpheus_wal_records_total",
+                                      "Records appended to the WAL."),
+      obs::GlobalMetrics().GetCounter(
+          "orpheus_wal_syncs_total",
+          "WAL fdatasync() calls issued (one per commit group)."),
+      obs::GlobalMetrics().GetHistogram(
+          "orpheus_wal_group_size",
+          "Records per WAL append batch (group-commit group size).",
+          obs::SizeBuckets())};
+  return m;
+}
 
 }  // namespace
 
@@ -128,6 +154,7 @@ Status WalWriter::AppendBatch(const WalAppendEntry* entries, size_t n,
   }
   if (fsync_) {
     ++syncs_;
+    GetWalMetrics().syncs->Inc();
     bool injected_fail = NextIoSyncFails(IoFileClass::kWal);
     if (injected_fail || ::fdatasync(fd_) != 0) {
       broken_ = Status::Internal(
@@ -141,6 +168,10 @@ Status WalWriter::AppendBatch(const WalAppendEntry* entries, size_t n,
   next_lsn_.fetch_add(n);
   file_bytes_.fetch_add(bytes.size());
   records_.fetch_add(n);
+  const WalMetrics& metrics = GetWalMetrics();
+  metrics.bytes_written->Inc(bytes.size());
+  metrics.records->Inc(n);
+  metrics.group_size->Observe(static_cast<double>(n));
   if (first_lsn != nullptr) *first_lsn = base_lsn;
   return Status::OK();
 }

@@ -1,0 +1,281 @@
+// Tests for the observability subsystem (src/obs/): sharded counter
+// exactness under contention, histogram bucket boundaries, the trace
+// ring buffer and slow-op log, the Prometheus text exposition, and an
+// end-to-end server round-trip asserting that a `metrics` scrape
+// reflects a commit that just ran through the engine.
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine_api.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/io_util.h"
+
+namespace orpheus {
+namespace {
+
+using core::CvdOptions;
+using core::EngineApi;
+using server::Client;
+using server::Server;
+using server::ServerOptions;
+
+TEST(MetricsTest, CounterExactUnderContention) {
+  obs::MetricsRegistry reg;
+  obs::Counter* counter = reg.GetCounter("t_total", "test");
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncs; ++i) counter->Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kIncs, counter->Value());
+
+  counter->Inc(41);
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kIncs + 41, counter->Value());
+}
+
+TEST(MetricsTest, HistogramExactUnderContention) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* hist = reg.GetHistogram("t_seconds", "test", {0.01, 1.0});
+  constexpr int kThreads = 8;
+  constexpr int kObs = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist] {
+      for (int i = 0; i < kObs; ++i) hist->Observe(0.001);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kObs, hist->Count());
+  EXPECT_NEAR(kThreads * kObs * 0.001, hist->Sum(), 1e-6);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* hist = reg.GetHistogram("t_size", "test", {1, 2, 4});
+  hist->Observe(0.5);  // -> bucket le=1
+  hist->Observe(1.0);  // boundary is inclusive (le semantics)
+  hist->Observe(1.5);  // -> bucket le=2
+  hist->Observe(4.0);  // -> bucket le=4
+  hist->Observe(99);   // -> +Inf
+  std::vector<uint64_t> counts = hist->BucketCounts();
+  ASSERT_EQ(4u, counts.size());
+  EXPECT_EQ(2u, counts[0]);
+  EXPECT_EQ(1u, counts[1]);
+  EXPECT_EQ(1u, counts[2]);
+  EXPECT_EQ(1u, counts[3]);
+  EXPECT_EQ(5u, hist->Count());
+}
+
+TEST(MetricsTest, DisabledGateSkipsIncButNotIncAlways) {
+  obs::MetricsRegistry reg;
+  obs::Counter* counter = reg.GetCounter("t_gate_total", "test");
+  obs::SetMetricsEnabled(false);
+  counter->Inc(5);
+  counter->IncAlways(2);
+  obs::SetMetricsEnabled(true);
+  counter->Inc(3);
+  EXPECT_EQ(5u, counter->Value());
+}
+
+TEST(MetricsTest, SameNameAndLabelsReturnsSameChild) {
+  obs::MetricsRegistry reg;
+  obs::Counter* a = reg.GetCounter("t_dup_total", "test", {{"k", "x"}});
+  obs::Counter* b = reg.GetCounter("t_dup_total", "test", {{"k", "x"}});
+  obs::Counter* c = reg.GetCounter("t_dup_total", "test", {{"k", "y"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(MetricsTest, PrometheusExpositionGoldenText) {
+  obs::MetricsRegistry reg;
+  obs::Counter* commit =
+      reg.GetCounter("test_ops_total", "Ops executed.", {{"verb", "commit"}});
+  obs::Counter* checkout =
+      reg.GetCounter("test_ops_total", "Ops executed.", {{"verb", "checkout"}});
+  obs::Gauge* active = reg.GetGauge("test_active", "Active sessions.");
+  obs::Histogram* latency =
+      reg.GetHistogram("test_latency_seconds", "Latency.", {0.01, 0.1, 1});
+  commit->Inc(3);
+  checkout->Inc();
+  active->Set(2);
+  latency->Observe(0.005);
+  latency->Observe(0.05);
+  latency->Observe(0.5);
+  latency->Observe(5);
+
+  // Families render name-sorted; children in registration order.
+  const std::string expected =
+      "# HELP test_active Active sessions.\n"
+      "# TYPE test_active gauge\n"
+      "test_active 2\n"
+      "# HELP test_latency_seconds Latency.\n"
+      "# TYPE test_latency_seconds histogram\n"
+      "test_latency_seconds_bucket{le=\"0.01\"} 1\n"
+      "test_latency_seconds_bucket{le=\"0.1\"} 2\n"
+      "test_latency_seconds_bucket{le=\"1\"} 3\n"
+      "test_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+      "test_latency_seconds_sum 5.555\n"
+      "test_latency_seconds_count 4\n"
+      "# HELP test_ops_total Ops executed.\n"
+      "# TYPE test_ops_total counter\n"
+      "test_ops_total{verb=\"commit\"} 3\n"
+      "test_ops_total{verb=\"checkout\"} 1\n";
+  EXPECT_EQ(expected, reg.RenderPrometheus());
+}
+
+TEST(MetricsTest, FlatNameAndSnapshot) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("t_flat_total", "test", {{"a", "1"}, {"b", "2"}})->Inc(7);
+  std::vector<obs::MetricPoint> snap = reg.Snapshot();
+  ASSERT_EQ(1u, snap.size());
+  EXPECT_EQ("t_flat_total{a=1,b=2}", snap[0].FlatName());
+  EXPECT_EQ(7.0, snap[0].value);
+}
+
+TEST(TraceTest, RingBufferWrapsKeepingNewest) {
+  obs::TraceLog log(/*recent_capacity=*/4, /*slow_capacity=*/2);
+  for (int i = 0; i < 10; ++i) {
+    obs::OpTrace op;
+    op.verb = "v" + std::to_string(i);
+    op.total_s = 0.0001;
+    log.Record(std::move(op));
+  }
+  EXPECT_EQ(10u, log.TotalRecorded());
+  std::vector<obs::OpTrace> recent = log.Recent();
+  ASSERT_EQ(4u, recent.size());
+  EXPECT_EQ("v6", recent.front().verb);  // ops 0..5 were pushed out
+  EXPECT_EQ("v9", recent.back().verb);
+  EXPECT_EQ(7u, recent.front().id);  // ids are 1-based and monotonic
+  EXPECT_EQ(10u, recent.back().id);
+}
+
+TEST(TraceTest, SlowOpThresholdFilters) {
+  obs::TraceLog log(/*recent_capacity=*/16, /*slow_capacity=*/2);
+  log.SetSlowOpThresholdMs(5);
+  EXPECT_EQ(5.0, log.SlowOpThresholdMs());
+  auto record = [&log](const char* verb, double total_s) {
+    obs::OpTrace op;
+    op.verb = verb;
+    op.total_s = total_s;
+    log.Record(std::move(op));
+  };
+  record("fast", 0.0049);
+  record("slow1", 0.0051);
+  record("fast", 0.001);
+  record("slow2", 0.2);
+  record("slow3", 1.5);
+  std::vector<obs::OpTrace> slow = log.SlowOps();
+  ASSERT_EQ(2u, slow.size());  // capacity 2: oldest slow op evicted
+  EXPECT_EQ("slow2", slow[0].verb);
+  EXPECT_EQ("slow3", slow[1].verb);
+  EXPECT_EQ(5u, log.TotalRecorded());
+}
+
+// --- End-to-end: the `metrics` verb over a real TCP round-trip ---
+
+// k INT (pk), score DOUBLE.
+rel::Chunk MakeRows(int n) {
+  rel::Schema schema;
+  schema.AddColumn("k", rel::DataType::kInt64);
+  schema.AddColumn("score", rel::DataType::kDouble);
+  rel::Chunk rows(schema);
+  for (int i = 0; i < n; ++i) {
+    rows.mutable_column(0).AppendInt(i);
+    rows.mutable_column(1).AppendDouble(1.5 * i);
+  }
+  return rows;
+}
+
+std::string MustExecute(Client* client, const std::string& line) {
+  auto result = client->Execute(line);
+  EXPECT_TRUE(result.ok()) << line << ": " << result.status().ToString();
+  return result.ok() ? result.value() : std::string();
+}
+
+// Value of the exposition line starting "<series> " (0 when absent).
+double PromValue(const std::string& text, const std::string& series) {
+  std::istringstream in(text);
+  std::string line;
+  const std::string prefix = series + " ";
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      return std::atof(line.c_str() + prefix.size());
+    }
+  }
+  return 0;
+}
+
+int CountFamilies(const std::string& text) {
+  int n = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) ++n;
+  }
+  return n;
+}
+
+TEST(ObsServerTest, MetricsScrapeReflectsCommit) {
+  auto tmp = storage::MakeTempDir("orpheus_obs_test_");
+  ASSERT_TRUE(tmp.ok());
+  EngineApi api;
+  ASSERT_TRUE(api.orpheus()->Open(tmp.value() + "/db").ok());
+  CvdOptions options;
+  options.primary_key = {"k"};
+  ASSERT_TRUE(
+      api.orpheus()->InitCvd("obs_cvd", MakeRows(4), options, "init").ok());
+
+  Server server(&api, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  const std::string before = MustExecute(&client, "metrics");
+  MustExecute(&client, "checkout obs_cvd -v 1 -t w1");
+  MustExecute(&client, "commit -t w1 -m obs");
+  const std::string after = MustExecute(&client, "metrics");
+
+  auto delta = [&](const std::string& series) {
+    return PromValue(after, series) - PromValue(before, series);
+  };
+  // Engine layer: the verbs were counted and timed.
+  EXPECT_EQ(1.0, delta("orpheus_ops_total{verb=\"commit\"}"));
+  EXPECT_EQ(1.0, delta("orpheus_ops_total{verb=\"checkout\"}"));
+  EXPECT_GE(delta("orpheus_op_latency_seconds_count{verb=\"commit\"}"), 1.0);
+  // Both verbs queue on the exclusive lock.
+  EXPECT_GE(delta("orpheus_lock_wait_seconds_count{mode=\"exclusive\"}"), 2.0);
+  // Storage layer: the commit was logged durably.
+  EXPECT_GT(delta("orpheus_wal_bytes_written_total"), 0.0);
+  EXPECT_GE(delta("orpheus_wal_records_total"), 1.0);
+  EXPECT_GE(delta("orpheus_io_writes_total{class=\"wal\"}"), 1.0);
+  // Server layer: the scrape itself rode the framed protocol.
+  EXPECT_GE(delta("orpheus_frames_total{dir=\"in\"}"), 3.0);
+  EXPECT_EQ(1.0, PromValue(after, "orpheus_sessions_active"));
+
+  // The acceptance bar: a post-commit scrape exposes a wide catalog.
+  EXPECT_GE(CountFamilies(after), 15);
+
+  // The stats verb renders the same registry human-readably.
+  const std::string stats = MustExecute(&client, "stats");
+  EXPECT_NE(std::string::npos, stats.find("this session"));
+  EXPECT_NE(std::string::npos, stats.find("orpheus_ops_total"));
+
+  server.Stop();
+  ASSERT_TRUE(storage::RemoveDirRecursive(tmp.value()).ok());
+}
+
+}  // namespace
+}  // namespace orpheus
