@@ -36,6 +36,17 @@ int main(int argc, char** argv) {
                " (gamma = 2|R|) ===\n\n";
   TablePrinter table({"Dataset", "Algorithm", "Total", "Per-iteration",
                       "Iterations", "S (records)", "Cavg"});
+  std::vector<std::string> points;  // for --json
+  auto add_point = [&points](const std::string& dataset, const char* algorithm,
+                             double total, int iters, int64_t storage,
+                             double cavg) {
+    points.push_back(StrFormat(
+        "{\"dataset\": \"%s\", \"algorithm\": \"%s\", \"total_seconds\": %g, "
+        "\"per_iteration_seconds\": %g, \"iterations\": %d, "
+        "\"storage_records\": %lld, \"avg_checkout_cost\": %g}",
+        dataset.c_str(), algorithm, total, total / std::max(1, iters), iters,
+        static_cast<long long>(storage), cavg));
+  };
 
   for (const wl::DatasetSpec& spec : specs) {
     wl::Dataset data = wl::Generate(spec);
@@ -58,6 +69,8 @@ int main(int argc, char** argv) {
                     FormatSeconds(total / iters), std::to_string(iters),
                     WithThousandsSep(p.storage_cost),
                     StrFormat("%.0f", p.avg_checkout_cost)});
+      add_point(spec.Name(), "LyreSplit", total, iters, p.storage_cost,
+                p.avg_checkout_cost);
     }
     {
       WallTimer timer;
@@ -73,6 +86,8 @@ int main(int argc, char** argv) {
                     std::to_string(iters),
                     WithThousandsSep(r.value().storage_cost),
                     StrFormat("%.0f", r.value().avg_checkout_cost)});
+      add_point(spec.Name(), "AGGLO", total, iters, r.value().storage_cost,
+                r.value().avg_checkout_cost);
     }
     if (run_kmeans) {
       WallTimer timer;
@@ -88,10 +103,17 @@ int main(int argc, char** argv) {
                     std::to_string(iters),
                     WithThousandsSep(r.value().storage_cost),
                     StrFormat("%.0f", r.value().avg_checkout_cost)});
+      add_point(spec.Name(), "KMEANS", total, iters, r.value().storage_cost,
+                r.value().avg_checkout_cost);
     }
   }
   table.Print();
   std::cout << "\nExpected shape: LyreSplit total time orders of magnitude"
                " below AGGLO, which is itself far below KMEANS.\n";
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty() &&
+      !WriteJsonFile(json_path, BenchJson("algo_runtime", points))) {
+    return 1;
+  }
   return 0;
 }

@@ -133,6 +133,7 @@ int main(int argc, char** argv) {
   };
 
   std::cout << "=== Figures 20-23: estimated vs real cost ===\n\n";
+  std::vector<std::string> json_points;  // for --json
   for (const wl::DatasetSpec& spec : specs) {
     wl::Dataset data = wl::Generate(spec);
     auto points = Sweep(data);
@@ -143,17 +144,30 @@ int main(int argc, char** argv) {
     std::cout << spec.Name() << "\n";
     TablePrinter table({"Algorithm", "Est. S (records)", "Est. Cavg",
                         "Measured checkout"});
+    double correlation = Correlation(points.value());
     for (const SweepPoint& p : points.value()) {
       table.AddRow({p.algorithm, WithThousandsSep(p.est_storage),
                     StrFormat("%.0f", p.est_checkout),
                     FormatSeconds(p.measured_seconds)});
+      json_points.push_back(StrFormat(
+          "{\"dataset\": \"%s\", \"algorithm\": \"%s\", "
+          "\"est_storage_records\": %lld, \"est_checkout_cost\": %g, "
+          "\"measured_seconds\": %g, \"dataset_correlation\": %g}",
+          spec.Name().c_str(), p.algorithm.c_str(),
+          static_cast<long long>(p.est_storage), p.est_checkout,
+          p.measured_seconds, correlation));
     }
     table.Print();
     std::cout << StrFormat(
         "Pearson correlation (est. Cavg vs measured time): %.3f\n\n",
-        Correlation(points.value()));
+        correlation);
   }
   std::cout << "Expected: trade-off trend identical to Figure 9; correlation"
                " close to 1 (checkout time linear in the cost model).\n";
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty() &&
+      !WriteJsonFile(json_path, BenchJson("cost_model", json_points))) {
+    return 1;
+  }
   return 0;
 }

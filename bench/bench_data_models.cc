@@ -193,6 +193,7 @@ Result<DeltaCompaction> MeasureDeltaCompaction(const wl::Dataset& data) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   double scale = flags.GetDouble("scale", 1.0);
+  std::vector<std::string> points;  // for --json
 
   std::vector<wl::DatasetSpec> specs = {
       Scaled(SmallSpec(wl::WorkloadKind::kSci), scale),
@@ -218,6 +219,13 @@ int main(int argc, char** argv) {
                     FormatBytes(r.value().storage_bytes),
                     FormatSeconds(r.value().commit_seconds),
                     FormatSeconds(r.value().checkout_seconds)});
+      points.push_back(StrFormat(
+          "{\"experiment\": \"figure3\", \"dataset\": \"%s\", \"model\": "
+          "\"%s\", \"storage_bytes\": %lld, \"commit_seconds\": %g, "
+          "\"checkout_seconds\": %g}",
+          spec.Name().c_str(), core::DataModelKindName(kind),
+          static_cast<long long>(r.value().storage_bytes),
+          r.value().commit_seconds, r.value().checkout_seconds));
     }
     table.Print();
     std::cout << "\n";
@@ -236,6 +244,10 @@ int main(int argc, char** argv) {
       }
       table.AddRow({core::DataModelKindName(kind),
                     FormatSeconds(r.value().commit_seconds)});
+      points.push_back(StrFormat(
+          "{\"experiment\": \"commit_30pct\", \"model\": \"%s\", "
+          "\"commit_seconds\": %g}",
+          core::DataModelKindName(kind), r.value().commit_seconds));
     }
     table.Print();
     std::cout << "\nPaper: delta 8.16s vs rlist 4.12s at 250K records — delta"
@@ -259,6 +271,11 @@ int main(int argc, char** argv) {
       table.AddRow({core::DataModelKindName(kind),
                     FormatSeconds(r.value().checkout_seconds),
                     FormatSeconds(r.value().commit_seconds)});
+      points.push_back(StrFormat(
+          "{\"experiment\": \"round_trip_30pct\", \"model\": \"%s\", "
+          "\"checkout_seconds\": %g, \"commit_seconds\": %g}",
+          core::DataModelKindName(kind), r.value().checkout_seconds,
+          r.value().commit_seconds));
     }
     table.Print();
   }
@@ -286,5 +303,19 @@ int main(int argc, char** argv) {
   std::cout << "\nReplay cost scales with lineage depth; compaction buys the"
                " depth-1 checkout back at the price of one full"
                " materialization and a duplicated record set.\n";
+  points.push_back(StrFormat(
+      "{\"experiment\": \"delta_compaction\", \"depth\": %d, "
+      "\"deep_checkout_seconds\": %g, \"root_checkout_seconds\": %g, "
+      "\"compact_seconds\": %g, \"compacted_checkout_seconds\": %g, "
+      "\"storage_before\": %lld, \"storage_after\": %lld}",
+      dc.depth, dc.deep_checkout_seconds, dc.root_checkout_seconds,
+      dc.compact_seconds, dc.compacted_checkout_seconds,
+      static_cast<long long>(dc.storage_before),
+      static_cast<long long>(dc.storage_after)));
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty() &&
+      !WriteJsonFile(json_path, BenchJson("data_models", points))) {
+    return 1;
+  }
   return 0;
 }

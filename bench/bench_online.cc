@@ -96,6 +96,17 @@ int main(int argc, char** argv) {
             << data.versions().size() << " streamed commits, |R|="
             << WithThousandsSep(data.num_records()) << ") ===\n";
 
+  std::vector<std::string> points;  // for --json
+  auto add_point = [&points](const char* engine, double gamma_factor,
+                             double mu, const RunSummary& s) {
+    points.push_back(StrFormat(
+        "{\"engine\": \"%s\", \"gamma_factor\": %g, \"mu\": %g, "
+        "\"migrations\": %d, \"total_migration_seconds\": %g, "
+        "\"max_divergence\": %g, \"rows_moved\": %lld}",
+        engine, gamma_factor, mu, s.migrations, s.total_migration_seconds,
+        s.max_divergence, static_cast<long long>(s.rows_moved)));
+  };
+
   for (double gamma_factor : {1.5, 2.0}) {
     std::cout << "\n--- gamma = " << gamma_factor << " |R| ---\n";
     std::cout << "  (a) checkout-cost trajectory:\n";
@@ -129,6 +140,7 @@ int main(int argc, char** argv) {
                     FormatSeconds(s.total_migration_seconds /
                                   std::max(1, s.migrations)),
                     WithThousandsSep(s.rows_moved)});
+      add_point("intelligent", gamma_factor, mu, s);
     }
     {
       auto r = StreamVersions(data, gamma_factor, 1.05, /*intelligent=*/false,
@@ -143,10 +155,16 @@ int main(int argc, char** argv) {
                     FormatSeconds(s.total_migration_seconds /
                                   std::max(1, s.migrations)),
                     WithThousandsSep(s.rows_moved)});
+      add_point("naive", gamma_factor, 1.05, s);
     }
     table.Print();
   }
   std::cout << "\nExpected shape: smaller mu -> more but cheaper migrations;"
                " intelligent moves ~1/10 the rows of naive at mu=1.05.\n";
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty() &&
+      !WriteJsonFile(json_path, BenchJson("online", points))) {
+    return 1;
+  }
   return 0;
 }

@@ -75,6 +75,19 @@ int main(int argc, char** argv) {
                " partitioning ===\n\n";
   TablePrinter table({"Dataset", "Scheme", "Checkout (avg)", "Rows touched",
                       "Storage", "Partitions", "Speedup"});
+  std::vector<std::string> points;  // for --json
+  auto add_point = [&points](const std::string& dataset, const char* scheme,
+                             double gamma_factor, double seconds,
+                             int64_t rows_touched, int64_t storage_bytes,
+                             int partitions, double speedup) {
+    points.push_back(StrFormat(
+        "{\"dataset\": \"%s\", \"scheme\": \"%s\", \"gamma_factor\": %g, "
+        "\"checkout_seconds\": %g, \"rows_touched\": %lld, "
+        "\"storage_bytes\": %lld, \"partitions\": %d, \"speedup\": %g}",
+        dataset.c_str(), scheme, gamma_factor, seconds,
+        static_cast<long long>(rows_touched),
+        static_cast<long long>(storage_bytes), partitions, speedup));
+  };
 
   for (const wl::DatasetSpec& spec : specs) {
     wl::Dataset data = wl::Generate(spec);
@@ -99,6 +112,8 @@ int main(int argc, char** argv) {
                   FormatSeconds(base.value().seconds),
                   WithThousandsSep(base.value().rows_touched),
                   FormatBytes(base_bytes), "1", "1.0x"});
+    add_point(spec.Name(), "unpartitioned", 0, base.value().seconds,
+              base.value().rows_touched, base_bytes, 1, 1.0);
 
     // Budgets are multiples of the tree-model floor (= |R| for SCI;
     // |R| + |R^| for CUR after the DAG -> tree conversion).
@@ -151,6 +166,9 @@ int main(int argc, char** argv) {
                     FormatBytes(part_bytes),
                     std::to_string(store.num_partitions()),
                     StrFormat("%.1fx", base.value().seconds / part_time)});
+      add_point(spec.Name(), "lyresplit", factor, part_time, part_rows,
+                part_bytes, static_cast<int>(store.num_partitions()),
+                base.value().seconds / part_time);
       if (!store.DropAll().ok()) return 1;
     }
   }
@@ -158,5 +176,10 @@ int main(int argc, char** argv) {
   std::cout << "\nExpected shape: partitioned checkout is several times"
                " faster, with the gap widening on larger datasets, for ~2x"
                " storage.\n";
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty() &&
+      !WriteJsonFile(json_path, BenchJson("partition_benefit", points))) {
+    return 1;
+  }
   return 0;
 }

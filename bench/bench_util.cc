@@ -213,6 +213,18 @@ std::string MetricsJson(const std::string& indent) {
   return out.str();
 }
 
+std::string BenchJson(const std::string& bench,
+                      const std::vector<std::string>& point_objects) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"" << JsonEscape(bench) << "\",\n  \"points\": [\n";
+  for (size_t i = 0; i < point_objects.size(); ++i) {
+    out << "    " << point_objects[i]
+        << (i + 1 < point_objects.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"metrics\": " << MetricsJson("  ") << "\n}\n";
+  return out.str();
+}
+
 bool WriteJsonFile(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) {

@@ -77,6 +77,13 @@ std::string JsonEscape(const std::string& s);
 // line after the first.
 std::string MetricsJson(const std::string& indent);
 
+// Assembles the standard bench JSON document every harness writes via
+// --json: {"bench": <name>, "points": [<objects>], "metrics": {...}}.
+// `point_objects` are already-rendered JSON objects (one per point —
+// heterogeneous shapes are fine; tag them with an "experiment" key).
+std::string BenchJson(const std::string& bench,
+                      const std::vector<std::string>& point_objects);
+
 // Writes `content` to `path` and prints "wrote <path>"; reports an
 // error and returns false when the file cannot be written.
 bool WriteJsonFile(const std::string& path, const std::string& content);

@@ -37,9 +37,13 @@
 //
 // --slow-op-ms=<n> (default 100) sets the slow-op log threshold: any
 // statement slower than this lands in the slow-op ring shown by the
-// `stats` verb (docs/OBSERVABILITY.md). --metrics-dump=<file> writes
-// the Prometheus text exposition of every metric to <file> on exit —
-// the scripted/bench equivalent of the `metrics` verb.
+// `stats` verb (docs/OBSERVABILITY.md); the `slowlog <ms>` verb is the
+// runtime equivalent. --metrics-dump=<file> writes the Prometheus text
+// exposition of every metric to <file> on exit — the scripted/bench
+// equivalent of the `metrics` verb. --procstats-interval-ms=<n>
+// (default 1000, 0 disables) sets the cadence of the process-stats
+// sampler, which publishes RSS / fd count / CPU gauges into the same
+// registry (engine-hosting modes only).
 
 #include <csignal>
 #include <unistd.h>
@@ -54,6 +58,7 @@
 #include "common/flags.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/procstats.h"
 #include "obs/trace.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -90,6 +95,9 @@ std::string ApplyObsFlags(const orpheus::Flags& flags) {
   double slow_ms = flags.GetDouble("slow-op-ms", 100.0);
   orpheus::obs::GlobalTraceLog().SetSlowOpThresholdMs(slow_ms < 0 ? 0
                                                                   : slow_ms);
+  int64_t procstats_ms = flags.GetInt("procstats-interval-ms", 1000);
+  orpheus::obs::ProcStatsSampler::Instance().Start(static_cast<int>(
+      std::min<int64_t>(std::max<int64_t>(procstats_ms, 0), 1 << 30)));
   return flags.GetString("metrics-dump", "");
 }
 
@@ -196,6 +204,7 @@ int ServeMain(const orpheus::Flags& flags) {
   }
   std::cout << "orpheus server shutting down" << std::endl;
   server.Stop();
+  orpheus::obs::ProcStatsSampler::Instance().Stop();
   MaybeDumpMetrics(metrics_dump);
   return 0;
 }
@@ -251,6 +260,7 @@ int main(int argc, char** argv) {
   }
   int rc = RunFrontEnd(&processor, flags.positional(),
                        [&processor] { return processor.exited(); });
+  orpheus::obs::ProcStatsSampler::Instance().Stop();
   MaybeDumpMetrics(metrics_dump);
   return rc;
 }

@@ -41,6 +41,10 @@ constexpr char kHelp[] =
     "  threads [<n>]             show or set scan parallelism (0 = hardware)\n"
     "  metrics                   Prometheus text exposition of all metrics\n"
     "  stats                     human-readable metrics + recent/slow ops\n"
+    "  explain analyze <sql>     run the SQL, return its operator profile\n"
+    "  profile [-json] <sql>     same as explain analyze (JSON with -json)\n"
+    "  traces [recent|slow] [<n>]  recent-op ring / slow-op log as JSON lines\n"
+    "  slowlog [<ms>]            show or set the slow-op threshold\n"
     "  create_user <name> | config <name> | whoami\n"
     "  help | exit\n";
 
@@ -97,7 +101,8 @@ std::string VerbLabel(const std::string& trimmed) {
       "sql",     "ls",       "graph",      "drop",    "optimize", "pin",
       "unpin",   "pins",     "open",       "checkpoint", "save", "threads",
       "metrics", "stats",    "create_user", "config", "whoami", "help",
-      "exit",    "quit",     "script"};
+      "exit",    "quit",     "script",     "explain", "profile", "traces",
+      "slowlog"};
   size_t end = trimmed.find_first_of(" \t");
   std::string verb = trimmed.substr(0, end);
   for (const char* known : kVerbs) {
@@ -128,6 +133,94 @@ Result<std::string> EngineApi::Metrics() {
                 "Engine commit epoch (bumped per successful mutation).")
       ->Set(static_cast<int64_t>(lock_.epoch()));
   return obs::GlobalMetrics().RenderPrometheus();
+}
+
+Result<std::string> EngineApi::Traces(const std::vector<std::string>& args) {
+  obs::TraceLog& log = obs::GlobalTraceLog();
+  bool want_recent = true;
+  bool want_slow = true;
+  size_t limit = 50;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "recent") {
+      want_slow = false;
+    } else if (args[i] == "slow") {
+      want_recent = false;
+    } else {
+      char* end = nullptr;
+      long n = std::strtol(args[i].c_str(), &end, 10);
+      if (end == args[i].c_str() || *end != '\0' || n < 0) {
+        return Status::InvalidArgument("traces [recent|slow] [<n>]");
+      }
+      limit = static_cast<size_t>(n);
+    }
+  }
+  std::vector<obs::OpTrace> recent = log.Recent();
+  std::vector<obs::OpTrace> slow = log.SlowOps();
+  // One JSON object per line: a meta header, then the requested
+  // entries (oldest first, capped at `limit` newest per kind). Slow
+  // entries carry their operator profile tree; the recent ring stays
+  // compact.
+  std::string out =
+      StrFormat("{\"meta\":true,\"slow_op_threshold_ms\":%g,"
+                "\"total_recorded\":%llu,\"recent\":%llu,\"slow\":%llu}\n",
+                log.SlowOpThresholdMs(),
+                static_cast<unsigned long long>(log.TotalRecorded()),
+                static_cast<unsigned long long>(recent.size()),
+                static_cast<unsigned long long>(slow.size()));
+  auto render = [&](const std::vector<obs::OpTrace>& ops, const char* kind,
+                    bool with_profile) {
+    size_t start = ops.size() > limit ? ops.size() - limit : 0;
+    for (size_t i = start; i < ops.size(); ++i) {
+      out += std::string("{\"kind\":\"") + kind + "\"," +
+             obs::OpTraceJson(ops[i], with_profile).substr(1) + "\n";
+    }
+  };
+  if (want_recent) render(recent, "recent", /*with_profile=*/false);
+  if (want_slow) render(slow, "slow", /*with_profile=*/true);
+  return out;
+}
+
+Result<std::string> EngineApi::Slowlog(const std::vector<std::string>& args) {
+  obs::TraceLog& log = obs::GlobalTraceLog();
+  if (args.size() >= 2) {
+    char* end = nullptr;
+    double ms = std::strtod(args[1].c_str(), &end);
+    if (end == args[1].c_str() || *end != '\0' || ms < 0) {
+      return Status::InvalidArgument("slowlog [<ms>] with ms >= 0");
+    }
+    log.SetSlowOpThresholdMs(ms);
+    return StrFormat("slow-op threshold set to %g ms", ms);
+  }
+  return StrFormat("slow-op threshold: %g ms (%llu slow ops kept)",
+                   log.SlowOpThresholdMs(),
+                   static_cast<unsigned long long>(log.SlowOps().size()));
+}
+
+Result<std::string> EngineApi::ProfileSql(const std::string& sql, bool json) {
+  WallTimer timer;
+  ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk out, orpheus_.Run(sql));
+  const double total_s = timer.ElapsedSeconds();
+  // The statement's ActiveOpScope installed a collector on this
+  // thread; every operator the SQL ran has closed its scope by now, so
+  // the snapshot shares those finished subtrees.
+  std::shared_ptr<const obs::ProfileNode> plan = obs::SnapshotActiveProfile();
+  if (json) {
+    std::string s = "{\"sql\":\"" + obs::JsonEscape(sql) + "\"";
+    s += ",\"rows\":" + std::to_string(out.num_rows());
+    s += StrFormat(",\"total_s\":%.9f", total_s);
+    if (plan != nullptr) s += ",\"plan\":" + obs::ProfileJson(*plan);
+    s += "}";
+    return s;
+  }
+  if (plan == nullptr) {
+    return std::string(
+        "(no operator profile: metrics disabled or no operators ran)");
+  }
+  std::string s = obs::ProfileText(*plan);
+  s += StrFormat("%llu row(s) in %.3f ms\n",
+                 static_cast<unsigned long long>(out.num_rows()),
+                 total_s * 1e3);
+  return s;
 }
 
 Result<std::string> EngineApi::Stats(SessionContext* session) {
@@ -242,6 +335,8 @@ Result<std::string> EngineApi::ExecuteParsed(SessionContext* session,
   if (cmd == "help") return std::string(kHelp);
   if (cmd == "metrics") return Metrics();
   if (cmd == "stats") return Stats(session);
+  if (cmd == "traces") return Traces(args);
+  if (cmd == "slowlog") return Slowlog(args);
   if (cmd == "exit" || cmd == "quit") {
     session->set_exited();
     return std::string("bye");
@@ -271,10 +366,33 @@ Result<std::string> EngineApi::ExecuteParsed(SessionContext* session,
   bool shared = cmd == "ls" || cmd == "graph" || cmd == "diff" ||
                 cmd == "pin";
   std::string sql;
+  bool want_profile = false;
+  bool profile_json = false;
   if (cmd == "run" || cmd == "sql") {
     size_t pos = trimmed.find(cmd) + cmd.size();
     sql = std::string(Trim(trimmed.substr(pos)));
     if (sql.empty()) return Status::InvalidArgument(cmd + " <sql>");
+    shared = IsReadOnlySql(sql);
+  }
+  if (cmd == "explain" || cmd == "profile") {
+    // `explain analyze <sql>` / `profile [-json] <sql>`: run the SQL
+    // (under whichever lock side it needs) and return its operator
+    // profile instead of its rows.
+    std::string marker = cmd;  // last keyword before the SQL text
+    if (cmd == "explain") {
+      if (args.size() < 3 || !TokenEqualsIgnoreCase(args[1], "analyze")) {
+        return Status::InvalidArgument("explain analyze <sql>");
+      }
+      marker = args[1];
+    } else if (args.size() >= 2 && args[1] == "-json") {
+      profile_json = true;
+      marker = args[1];
+    }
+    size_t pos = marker == cmd ? cmd.size()
+                               : trimmed.find(marker, cmd.size()) + marker.size();
+    sql = std::string(Trim(trimmed.substr(pos)));
+    if (sql.empty()) return Status::InvalidArgument(cmd + " needs <sql>");
+    want_profile = true;
     shared = IsReadOnlySql(sql);
   }
   if (shared) {
@@ -297,6 +415,7 @@ Result<std::string> EngineApi::ExecuteParsed(SessionContext* session,
     }
     if (cmd == "diff") return DiffCmd(args);
     if (cmd == "pin") return Pin(session, args);
+    if (want_profile) return ProfileSql(sql, profile_json);
     if (cmd == "run") {
       ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk out, orpheus_.Run(sql));
       return out.ToString(50);
@@ -361,6 +480,7 @@ Result<std::string> EngineApi::ExecuteParsed(SessionContext* session,
       ORPHEUS_RETURN_NOT_OK(orpheus_.SaveSnapshot(args[1]));
       return "saved snapshot to " + args[1];
     }
+    if (want_profile) return ProfileSql(sql, profile_json);
     if (cmd == "run") {
       ORPHEUS_ASSIGN_OR_RETURN(rel::Chunk out, orpheus_.Run(sql));
       return out.ToString(50);

@@ -94,6 +94,13 @@ class EngineApi {
   // internally synchronized).
   Result<std::string> Metrics();
   Result<std::string> Stats(SessionContext* session);
+  Result<std::string> Traces(const std::vector<std::string>& args);
+  Result<std::string> Slowlog(const std::vector<std::string>& args);
+
+  // Runs `sql` and returns its operator profile tree instead of its
+  // rows — the `explain analyze` / `profile` verbs. Called with the
+  // appropriate engine lock held (the SQL really executes).
+  Result<std::string> ProfileSql(const std::string& sql, bool json);
 
   // Command handlers; called with the appropriate engine lock held.
   Result<std::string> Init(SessionContext* session,

@@ -18,6 +18,16 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// Gauge rendering: integral values print as integers (keeping counts
+// like fd totals byte-identical to the pre-double format), fractional
+// values fall back to %g.
+std::string FormatGaugeValue(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return FormatDouble(v);
+}
+
 std::string EscapeLabelValue(const std::string& v) {
   std::string out;
   out.reserve(v.size());
@@ -197,7 +207,7 @@ std::vector<MetricPoint> MetricsRegistry::Snapshot() const {
           p.value = static_cast<double>(fam.counters[child.second]->Value());
           break;
         case MetricType::kGauge:
-          p.value = static_cast<double>(fam.gauges[child.second]->Value());
+          p.value = fam.gauges[child.second]->Value();
           break;
         case MetricType::kHistogram: {
           const Histogram& h = *fam.histograms[child.second];
@@ -235,7 +245,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
           break;
         case MetricType::kGauge:
           out << name << RenderLabels(labels, "", "") << " "
-              << fam.gauges[child.second]->Value() << "\n";
+              << FormatGaugeValue(fam.gauges[child.second]->Value()) << "\n";
           break;
         case MetricType::kHistogram: {
           const Histogram& h = *fam.histograms[child.second];

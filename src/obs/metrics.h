@@ -69,18 +69,24 @@ class Counter {
   internal::PaddedCell shards_[internal::kShards];
 };
 
-// Instantaneous value (may go down).
+// Instantaneous value (may go down). Double-backed so fractional
+// readings (CPU seconds, uptime) fit; integral values render without
+// a decimal point. C++17 has no atomic<double>::fetch_add, so Add()
+// is a CAS loop — gauges are low-frequency, this is not a hot path.
 class Gauge {
  public:
-  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
-  void Add(int64_t delta) {
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
     if (!MetricsEnabled()) return;
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
   }
-  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::atomic<int64_t> value_{0};
+  std::atomic<double> value_{0};
 };
 
 // Fixed-bucket histogram. Bucket counts are per-bucket non-cumulative

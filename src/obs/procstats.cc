@@ -1,0 +1,171 @@
+#include "obs/procstats.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace orpheus {
+namespace obs {
+
+namespace {
+Result<std::string> ReadWholeFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotSupported(std::string("cannot open ") + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Counts entries of /proc/self/fd (minus "." and ".." and the fd the
+// directory scan itself holds open).
+Result<int64_t> CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return Status::NotSupported("cannot open /proc/self/fd");
+  }
+  int64_t count = 0;
+  while (dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    ++count;
+  }
+  closedir(dir);
+  return count > 0 ? count - 1 : count;  // exclude the scan's own fd
+}
+}  // namespace
+
+Result<ProcSample> ReadProcSelf() {
+  ProcSample sample;
+  const long page = sysconf(_SC_PAGESIZE);
+  const long hz = sysconf(_SC_CLK_TCK);
+  if (page <= 0 || hz <= 0) {
+    return Status::NotSupported("sysconf unavailable");
+  }
+
+  // statm: total and resident size, in pages.
+  ORPHEUS_ASSIGN_OR_RETURN(std::string statm,
+                           ReadWholeFile("/proc/self/statm"));
+  {
+    std::istringstream in(statm);
+    int64_t vm_pages = 0, rss_pages = 0;
+    if (!(in >> vm_pages >> rss_pages)) {
+      return Status::Internal("unparseable /proc/self/statm");
+    }
+    sample.vm_bytes = vm_pages * page;
+    sample.rss_bytes = rss_pages * page;
+  }
+
+  // stat: fields after the parenthesized comm (which may itself hold
+  // spaces), so tokenize from the last ')'. Post-comm token indices:
+  // utime=11, stime=12, num_threads=17, starttime=19 (all in ticks).
+  ORPHEUS_ASSIGN_OR_RETURN(std::string stat, ReadWholeFile("/proc/self/stat"));
+  double start_ticks = 0;
+  {
+    const size_t close = stat.rfind(')');
+    if (close == std::string::npos) {
+      return Status::Internal("unparseable /proc/self/stat");
+    }
+    std::istringstream in(stat.substr(close + 1));
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (in >> tok) tokens.push_back(tok);
+    if (tokens.size() < 20) {
+      return Status::Internal("short /proc/self/stat");
+    }
+    sample.cpu_user_s = std::stod(tokens[11]) / static_cast<double>(hz);
+    sample.cpu_sys_s = std::stod(tokens[12]) / static_cast<double>(hz);
+    sample.threads = std::stoll(tokens[17]);
+    start_ticks = std::stod(tokens[19]);
+  }
+
+  // uptime of the process = system uptime - process start time.
+  ORPHEUS_ASSIGN_OR_RETURN(std::string uptime, ReadWholeFile("/proc/uptime"));
+  {
+    std::istringstream in(uptime);
+    double system_uptime_s = 0;
+    if (!(in >> system_uptime_s)) {
+      return Status::Internal("unparseable /proc/uptime");
+    }
+    sample.uptime_s = system_uptime_s - start_ticks / static_cast<double>(hz);
+    if (sample.uptime_s < 0) sample.uptime_s = 0;
+  }
+
+  ORPHEUS_ASSIGN_OR_RETURN(sample.open_fds, CountOpenFds());
+  return sample;
+}
+
+ProcStatsSampler& ProcStatsSampler::Instance() {
+  static ProcStatsSampler* sampler = new ProcStatsSampler();
+  return *sampler;
+}
+
+Status ProcStatsSampler::SampleOnce() {
+  ORPHEUS_ASSIGN_OR_RETURN(ProcSample s, ReadProcSelf());
+  MetricsRegistry& reg = GlobalMetrics();
+  reg.GetGauge("orpheus_process_resident_bytes",
+               "Resident set size of this process.")
+      ->Set(static_cast<double>(s.rss_bytes));
+  reg.GetGauge("orpheus_process_virtual_bytes",
+               "Virtual memory size of this process.")
+      ->Set(static_cast<double>(s.vm_bytes));
+  reg.GetGauge("orpheus_process_open_fds",
+               "Open file descriptors held by this process.")
+      ->Set(static_cast<double>(s.open_fds));
+  reg.GetGauge("orpheus_process_threads",
+               "Kernel threads in this process.")
+      ->Set(static_cast<double>(s.threads));
+  reg.GetGauge("orpheus_process_cpu_user_seconds",
+               "Cumulative user CPU time of this process.")
+      ->Set(s.cpu_user_s);
+  reg.GetGauge("orpheus_process_cpu_system_seconds",
+               "Cumulative system CPU time of this process.")
+      ->Set(s.cpu_sys_s);
+  reg.GetGauge("orpheus_process_uptime_seconds",
+               "Seconds since this process started.")
+      ->Set(s.uptime_s);
+  return Status::OK();
+}
+
+void ProcStatsSampler::Start(int interval_ms) {
+  if (interval_ms <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  if (!SampleOnce().ok()) return;  // no /proc on this platform
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                   [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      (void)SampleOnce();
+      lock.lock();
+    }
+  });
+}
+
+void ProcStatsSampler::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+    running_ = false;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  to_join.join();
+}
+
+}  // namespace obs
+}  // namespace orpheus

@@ -1,0 +1,75 @@
+// Process runtime stats for long-running --serve deployments: a
+// background sampler that reads /proc/self/{statm,stat} and
+// /proc/self/fd on a fixed cadence and publishes the readings as
+// gauges in the global metrics registry, so one `metrics` scrape
+// covers engine counters and process health together.
+//
+// Gauge catalog (all sampled, absolute values):
+//   orpheus_process_resident_bytes     RSS
+//   orpheus_process_virtual_bytes      virtual size
+//   orpheus_process_open_fds           open file descriptors
+//   orpheus_process_threads            kernel thread count
+//   orpheus_process_cpu_user_seconds   cumulative user CPU
+//   orpheus_process_cpu_system_seconds cumulative system CPU
+//   orpheus_process_uptime_seconds     time since process start
+#ifndef ORPHEUS_OBS_PROCSTATS_H_
+#define ORPHEUS_OBS_PROCSTATS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+
+namespace orpheus {
+namespace obs {
+
+// One reading of /proc/self. Separated from the gauge publication so
+// tests can assert on raw values.
+struct ProcSample {
+  int64_t rss_bytes = 0;
+  int64_t vm_bytes = 0;
+  int64_t open_fds = 0;
+  int64_t threads = 0;
+  double cpu_user_s = 0;
+  double cpu_sys_s = 0;
+  double uptime_s = 0;
+};
+
+// Reads the current process's stats from procfs. Fails (NotSupported /
+// Internal) on platforms without /proc; callers degrade gracefully.
+Result<ProcSample> ReadProcSelf();
+
+// Background sampler singleton. Start() is idempotent and spawns one
+// thread that calls SampleOnce() every `interval_ms`; Stop() joins it.
+// SampleOnce() can also be called directly (tests, one-shot dumps).
+class ProcStatsSampler {
+ public:
+  static ProcStatsSampler& Instance();
+
+  // Samples immediately (so the gauges are live before the first
+  // tick), then starts the background thread. interval_ms <= 0 or an
+  // already-running sampler is a no-op.
+  void Start(int interval_ms);
+  void Stop();
+
+  // Publishes one reading into GlobalMetrics(). Returns the sample
+  // status (gauges untouched on failure).
+  Status SampleOnce();
+
+ private:
+  ProcStatsSampler() = default;
+  ~ProcStatsSampler() = default;  // leaked singleton, like GlobalMetrics
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace obs
+}  // namespace orpheus
+
+#endif  // ORPHEUS_OBS_PROCSTATS_H_

@@ -1,0 +1,118 @@
+// Per-statement operator profiles: every relstore executor operator
+// (scan, filter, hash-join build/probe, INL probe, merge-sort,
+// ORDER BY, aggregate, projection) opens a ProfileOpScope that records
+// rows in/out, batch count, and wall time. When a ProfileCollector is
+// installed on the thread (EngineApi does this per statement, via
+// ActiveOpScope), the scopes additionally link up into a tree that
+// mirrors the plan shape — the payload behind `EXPLAIN ANALYZE` /
+// `profile` and the slow-op entries of the `traces` verb.
+//
+// Threading contract: scopes and collectors are coordinating-thread
+// only. The executor's pool workers never construct scopes; each
+// operator's scope covers the whole batched region including the
+// coordinating thread's wait, so operator wall time is end-to-end as
+// a client would see it. Nested statements (subqueries in FROM) nest
+// their scopes naturally because the executor recurses on the same
+// thread.
+#ifndef ORPHEUS_OBS_PROFILE_H_
+#define ORPHEUS_OBS_PROFILE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace orpheus {
+namespace obs {
+
+// One operator's measurements. Children appear in execution order.
+// Nodes are immutable once their scope closes; finished subtrees are
+// shared (shared_ptr) between the trace log and profile snapshots.
+struct ProfileNode {
+  std::string op;      // "scan", "filter", "join", ...
+  std::string detail;  // operator-specific: table name, join strategy
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t batches = 0;
+  double seconds = 0;
+  std::vector<std::shared_ptr<ProfileNode>> children;
+};
+
+// Renderers. Text is an indented tree with aligned rows/time columns;
+// JSON is a nested object ({"op":...,"rows_out":...,"children":[...]}).
+std::string ProfileText(const ProfileNode& root);
+std::string ProfileJson(const ProfileNode& root);
+
+// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string JsonEscape(const std::string& s);
+
+// Installed on the statement's thread for the statement's lifetime.
+// ProfileOpScopes constructed while it lives attach their nodes under
+// the current position. Inactive (no tree built) when metrics are
+// disabled.
+class ProfileCollector {
+ public:
+  ProfileCollector();
+  ~ProfileCollector();
+  ProfileCollector(const ProfileCollector&) = delete;
+  ProfileCollector& operator=(const ProfileCollector&) = delete;
+
+  // Finalizes the root's wall time and detaches the tree; returns
+  // nullptr when inactive or when no operator ever ran (non-SQL
+  // verbs). After Take() the collector stops accepting scopes.
+  std::shared_ptr<const ProfileNode> Take();
+
+ private:
+  friend class ProfileOpScope;
+  friend std::shared_ptr<const ProfileNode> SnapshotActiveProfile();
+
+  std::shared_ptr<ProfileNode> root_;
+  ProfileNode* current_ = nullptr;
+  ProfileCollector* prev_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  bool installed_ = false;
+};
+
+// Copies the thread's active collector tree as of now: finished child
+// subtrees are shared, the still-open root is cloned with its elapsed
+// time so far. This is how EngineApi reads the profile of the very
+// statement that is executing it (the operators have all closed by
+// the time the handler inspects the result). Returns nullptr when no
+// collector is installed or nothing was recorded.
+std::shared_ptr<const ProfileNode> SnapshotActiveProfile();
+
+// RAII measurement for one operator. Always feeds the
+// orpheus_operator_seconds{op=...} / orpheus_operator_rows{op=...}
+// families (counters are kept locally and flushed once at scope
+// exit); additionally contributes a tree node when a collector is
+// installed on this thread.
+class ProfileOpScope {
+ public:
+  explicit ProfileOpScope(const char* op, std::string detail = {});
+  ~ProfileOpScope();
+  ProfileOpScope(const ProfileOpScope&) = delete;
+  ProfileOpScope& operator=(const ProfileOpScope&) = delete;
+
+  void AddRowsIn(uint64_t n) { rows_in_ += n; }
+  void AddRowsOut(uint64_t n) { rows_out_ += n; }
+  void AddBatches(uint64_t n) { batches_ += n; }
+  void SetDetail(std::string detail);
+
+ private:
+  const char* op_;
+  std::string detail_;
+  uint64_t rows_in_ = 0;
+  uint64_t rows_out_ = 0;
+  uint64_t batches_ = 0;
+  ProfileNode* node_ = nullptr;    // our node in the collector tree
+  ProfileNode* parent_ = nullptr;  // collector position to restore
+  ProfileCollector* collector_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  bool active_ = false;
+};
+
+}  // namespace obs
+}  // namespace orpheus
+
+#endif  // ORPHEUS_OBS_PROFILE_H_

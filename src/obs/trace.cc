@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -48,6 +49,30 @@ const char* TraceStageName(TraceStage stage) {
       return "checkpoint";
   }
   return "unknown";
+}
+
+std::string OpTraceJson(const OpTrace& op, bool include_profile) {
+  char buf[64];
+  std::string out = "{\"id\":" + std::to_string(op.id);
+  out += ",\"session\":" + std::to_string(op.session_id);
+  out += ",\"verb\":\"" + JsonEscape(op.verb) + "\"";
+  out += ",\"ok\":";
+  out += op.ok ? "true" : "false";
+  std::snprintf(buf, sizeof(buf), "%.9f", op.total_s);
+  out += ",\"total_s\":" + std::string(buf);
+  out += ",\"stages\":{";
+  for (int i = 0; i < kTraceStageCount; ++i) {
+    if (i > 0) out += ",";
+    std::snprintf(buf, sizeof(buf), "%.9f", op.stage_s[i]);
+    out += "\"" + std::string(TraceStageName(static_cast<TraceStage>(i))) +
+           "\":" + buf;
+  }
+  out += "}";
+  if (include_profile && op.profile != nullptr) {
+    out += ",\"profile\":" + ProfileJson(*op.profile);
+  }
+  out += "}";
+  return out;
 }
 
 TraceLog::TraceLog(size_t recent_capacity, size_t slow_capacity)
@@ -111,6 +136,7 @@ ActiveOpScope::~ActiveOpScope() {
   if (!active_) return;
   t_active_op = prev_;
   op_.total_s = ElapsedSeconds(start_);
+  op_.profile = collector_.Take();
   MetricsRegistry& reg = GlobalMetrics();
   reg.GetCounter("orpheus_ops_total", "Operations executed, by verb.",
                  {{"verb", op_.verb}})

@@ -17,9 +17,12 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/profile.h"
 
 namespace orpheus {
 namespace obs {
@@ -44,7 +47,15 @@ struct OpTrace {
   double total_s = 0;
   double stage_s[kTraceStageCount] = {0, 0, 0, 0, 0, 0};
   bool ok = true;
+  // Operator profile tree (statements that ran executor operators
+  // only); shared with any profile snapshots taken while it ran.
+  std::shared_ptr<const ProfileNode> profile;
 };
+
+// One trace as a single JSON object ({"id":...,"stages":{...}}), the
+// line format of the `traces` verb. The profile tree is included only
+// when `include_profile` is set and the op recorded one.
+std::string OpTraceJson(const OpTrace& op, bool include_profile);
 
 // Ring buffer of recent operations plus a slow-op log. Recording and
 // reading take a mutex; this runs once per statement, not per batch.
@@ -89,6 +100,7 @@ class ActiveOpScope {
  private:
   OpTrace op_;
   OpTrace* prev_;
+  ProfileCollector collector_;
   std::chrono::steady_clock::time_point start_;
   bool active_;
 };

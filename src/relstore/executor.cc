@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "relstore/database.h"
 #include "relstore/eval.h"
 
@@ -25,24 +26,6 @@ obs::Counter* BatchCounter() {
       "Scan batches dispatched by the batched operators.");
   return c;
 }
-
-// Wall time per operator, observed on scope exit.
-class OperatorTimer {
- public:
-  explicit OperatorTimer(const char* op) : hist_(Hist(op)) {}
-  ~OperatorTimer() { hist_->Observe(timer_.ElapsedSeconds()); }
-  OperatorTimer(const OperatorTimer&) = delete;
-  OperatorTimer& operator=(const OperatorTimer&) = delete;
-
- private:
-  static obs::Histogram* Hist(const char* op) {
-    return obs::GlobalMetrics().GetHistogram(
-        "orpheus_exec_operator_seconds", "Wall time per executor operator.",
-        obs::LatencyBuckets(), {{"op", op}});
-  }
-  obs::Histogram* hist_;
-  WallTimer timer_;
-};
 
 // Scan batches covering n rows; must agree with ParallelBatchFor's
 // decomposition, hence the shared helper.
@@ -246,8 +229,11 @@ Status Executor::FilterSelection(const Evaluator& eval,
                                  std::vector<uint32_t>* sel) {
   const size_t n = data.num_rows();
   const size_t nb = NumScanBatches(n);
-  OperatorTimer op_timer("filter");
+  obs::ProfileOpScope op_scope("filter");
+  op_scope.AddRowsIn(n);
+  op_scope.AddBatches(nb);
   BatchCounter()->Inc(nb);
+  const size_t sel_before = sel->size();
   auto filter_range = [&](size_t begin, size_t end,
                           std::vector<uint32_t>* out) -> Status {
     for (size_t row = begin; row < end; ++row) {
@@ -265,7 +251,9 @@ Status Executor::FilterSelection(const Evaluator& eval,
   };
   if (nb <= 1) {
     // Single batch: run inline, no scheduling.
-    return filter_range(0, n, sel);
+    ORPHEUS_RETURN_NOT_OK(filter_range(0, n, sel));
+    op_scope.AddRowsOut(sel->size() - sel_before);
+    return Status::OK();
   }
   std::vector<std::vector<uint32_t>> parts(nb);
   ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
@@ -278,6 +266,7 @@ Status Executor::FilterSelection(const Evaluator& eval,
   for (const std::vector<uint32_t>& part : parts) {
     sel->insert(sel->end(), part.begin(), part.end());
   }
+  op_scope.AddRowsOut(sel->size() - sel_before);
   return Status::OK();
 }
 
@@ -377,7 +366,7 @@ Result<Executor::Input> Executor::JoinInputs(std::vector<Input> inputs,
 Result<Executor::Input> Executor::JoinPair(
     Input left, Input right,
     const std::vector<std::pair<const Expr*, const Expr*>>& keys) {
-  OperatorTimer op_timer("join");
+  obs::ProfileOpScope op_scope("join");
   ExecStats* stats = db_->stats();
   // With one thread the per-batch buffers and their batch-order merges
   // are pure overhead, so every phase below takes its direct serial
@@ -388,10 +377,12 @@ Result<Executor::Input> Executor::JoinPair(
   const bool serial_exec = ExecThreads() == 1;
   const Chunk& lc = *left.data;
   const Chunk& rc = *right.data;
+  op_scope.AddRowsIn(lc.num_rows() + rc.num_rows());
   std::vector<uint32_t> lidx;
   std::vector<uint32_t> ridx;
 
   if (keys.empty()) {
+    op_scope.SetDetail("cross");
     // Cross join; guarded against blowups. Each output offset is a
     // pure function of the row counts, so batches of left rows write
     // disjoint slices of the pre-sized result directly.
@@ -462,6 +453,7 @@ Result<Executor::Input> Executor::JoinPair(
         // probe emits per-batch match lists concatenated in batch
         // order (the serial probe's output order). See executor.h for
         // the determinism contract.
+        op_scope.SetDetail("hash");
         bool build_right = rc.num_rows() <= lc.num_rows();
         const Column& bcol = build_right ? rc.column(rcols[0]) : lc.column(lcols[0]);
         const Column& pcol = build_right ? lc.column(lcols[0]) : rc.column(rcols[0]);
@@ -470,33 +462,45 @@ Result<Executor::Input> Executor::JoinPair(
         using IntMap = std::unordered_map<int64_t, std::vector<uint32_t>>;
         IntMap hash;
         hash.reserve(bkeys.size() * 2);
-        ORPHEUS_RETURN_NOT_OK(BatchedHashBuild(
-            bkeys.size(), serial_exec, &hash,
-            [&](size_t begin, size_t end, IntMap* out) {
-              for (size_t i = begin; i < end; ++i) {
-                if (bcol.IsNull(i)) continue;
-                (*out)[bkeys[i]].push_back(static_cast<uint32_t>(i));
-              }
-            }));
-        ORPHEUS_RETURN_NOT_OK(BatchedProbe(
-            pkeys.size(), serial_exec,
-            [&](size_t begin, size_t end, MatchList* out) {
-              for (size_t i = begin; i < end; ++i) {
-                if (pcol.IsNull(i)) continue;
-                auto hit = hash.find(pkeys[i]);
-                if (hit == hash.end()) continue;
-                for (uint32_t m : hit->second) {
-                  if (build_right) {
-                    out->l.push_back(static_cast<uint32_t>(i));
-                    out->r.push_back(m);
-                  } else {
-                    out->l.push_back(m);
-                    out->r.push_back(static_cast<uint32_t>(i));
+        {
+          obs::ProfileOpScope build_scope("hash_build");
+          build_scope.AddRowsIn(bkeys.size());
+          build_scope.AddBatches(NumScanBatches(bkeys.size()));
+          ORPHEUS_RETURN_NOT_OK(BatchedHashBuild(
+              bkeys.size(), serial_exec, &hash,
+              [&](size_t begin, size_t end, IntMap* out) {
+                for (size_t i = begin; i < end; ++i) {
+                  if (bcol.IsNull(i)) continue;
+                  (*out)[bkeys[i]].push_back(static_cast<uint32_t>(i));
+                }
+              }));
+          build_scope.AddRowsOut(hash.size());
+        }
+        {
+          obs::ProfileOpScope probe_scope("hash_probe");
+          probe_scope.AddRowsIn(pkeys.size());
+          probe_scope.AddBatches(NumScanBatches(pkeys.size()));
+          ORPHEUS_RETURN_NOT_OK(BatchedProbe(
+              pkeys.size(), serial_exec,
+              [&](size_t begin, size_t end, MatchList* out) {
+                for (size_t i = begin; i < end; ++i) {
+                  if (pcol.IsNull(i)) continue;
+                  auto hit = hash.find(pkeys[i]);
+                  if (hit == hash.end()) continue;
+                  for (uint32_t m : hit->second) {
+                    if (build_right) {
+                      out->l.push_back(static_cast<uint32_t>(i));
+                      out->r.push_back(m);
+                    } else {
+                      out->l.push_back(m);
+                      out->r.push_back(static_cast<uint32_t>(i));
+                    }
                   }
                 }
-              }
-            },
-            &lidx, &ridx));
+              },
+              &lidx, &ridx));
+          probe_scope.AddRowsOut(lidx.size());
+        }
       } else {
         // Generic multi-key hash join via encoded keys; rows with any
         // NULL key are skipped (SQL equi-join semantics). Same
@@ -509,36 +513,49 @@ Result<Executor::Input> Executor::JoinPair(
           }
           return false;
         };
+        op_scope.SetDetail("hash multi-key");
         using StrMap = std::unordered_map<std::string, std::vector<uint32_t>>;
         StrMap hash;
-        ORPHEUS_RETURN_NOT_OK(BatchedHashBuild(
-            rc.num_rows(), serial_exec, &hash,
-            [&](size_t begin, size_t end, StrMap* out) {
-              std::string key;
-              for (size_t r = begin; r < end; ++r) {
-                if (any_null(rc, rcols, r)) continue;
-                key.clear();
-                for (int col : rcols) EncodeValue(rc.Get(r, col), &key);
-                (*out)[key].push_back(static_cast<uint32_t>(r));
-              }
-            }));
-        ORPHEUS_RETURN_NOT_OK(BatchedProbe(
-            lc.num_rows(), serial_exec,
-            [&](size_t begin, size_t end, MatchList* out) {
-              std::string key;
-              for (size_t l = begin; l < end; ++l) {
-                if (any_null(lc, lcols, l)) continue;
-                key.clear();
-                for (int col : lcols) EncodeValue(lc.Get(l, col), &key);
-                auto hit = hash.find(key);
-                if (hit == hash.end()) continue;
-                for (uint32_t m : hit->second) {
-                  out->l.push_back(static_cast<uint32_t>(l));
-                  out->r.push_back(m);
+        {
+          obs::ProfileOpScope build_scope("hash_build");
+          build_scope.AddRowsIn(rc.num_rows());
+          build_scope.AddBatches(NumScanBatches(rc.num_rows()));
+          ORPHEUS_RETURN_NOT_OK(BatchedHashBuild(
+              rc.num_rows(), serial_exec, &hash,
+              [&](size_t begin, size_t end, StrMap* out) {
+                std::string key;
+                for (size_t r = begin; r < end; ++r) {
+                  if (any_null(rc, rcols, r)) continue;
+                  key.clear();
+                  for (int col : rcols) EncodeValue(rc.Get(r, col), &key);
+                  (*out)[key].push_back(static_cast<uint32_t>(r));
                 }
-              }
-            },
-            &lidx, &ridx));
+              }));
+          build_scope.AddRowsOut(hash.size());
+        }
+        {
+          obs::ProfileOpScope probe_scope("hash_probe");
+          probe_scope.AddRowsIn(lc.num_rows());
+          probe_scope.AddBatches(NumScanBatches(lc.num_rows()));
+          ORPHEUS_RETURN_NOT_OK(BatchedProbe(
+              lc.num_rows(), serial_exec,
+              [&](size_t begin, size_t end, MatchList* out) {
+                std::string key;
+                for (size_t l = begin; l < end; ++l) {
+                  if (any_null(lc, lcols, l)) continue;
+                  key.clear();
+                  for (int col : lcols) EncodeValue(lc.Get(l, col), &key);
+                  auto hit = hash.find(key);
+                  if (hit == hash.end()) continue;
+                  for (uint32_t m : hit->second) {
+                    out->l.push_back(static_cast<uint32_t>(l));
+                    out->r.push_back(m);
+                  }
+                }
+              },
+              &lidx, &ridx));
+          probe_scope.AddRowsOut(lidx.size());
+        }
       }
       stats->rows_scanned +=
           static_cast<int64_t>(lc.num_rows() + rc.num_rows());
@@ -547,6 +564,7 @@ Result<Executor::Input> Executor::JoinPair(
       stats->pages_read += right.base != nullptr ? right.base->num_pages()
                                                  : ChunkPages(rc);
     } else if (method == JoinMethod::kMerge) {
+      op_scope.SetDetail("merge");
       const Column& lkcol = lc.column(lcols[0]);
       const Column& rkcol = rc.column(rcols[0]);
       const std::vector<int64_t>& lkeys = lkcol.ints();
@@ -579,8 +597,20 @@ Result<Executor::Input> Executor::JoinPair(
       bool r_sorted = right.base != nullptr &&
                       right.base->clustered_on() ==
                           BaseName(right.schema.column(rcols[0]).name);
-      std::vector<uint32_t> lorder = sorted_order(lkcol, lkeys, l_sorted);
-      std::vector<uint32_t> rorder = sorted_order(rkcol, rkeys, r_sorted);
+      std::vector<uint32_t> lorder;
+      std::vector<uint32_t> rorder;
+      {
+        obs::ProfileOpScope sort_scope("merge_sort", "left");
+        sort_scope.AddRowsIn(lkeys.size());
+        lorder = sorted_order(lkcol, lkeys, l_sorted);
+        sort_scope.AddRowsOut(lorder.size());
+      }
+      {
+        obs::ProfileOpScope sort_scope("merge_sort", "right");
+        sort_scope.AddRowsIn(rkeys.size());
+        rorder = sorted_order(rkcol, rkeys, r_sorted);
+        sort_scope.AddRowsOut(rorder.size());
+      }
       size_t li = 0;
       size_t ri = 0;
       while (li < lorder.size() && ri < rorder.size()) {
@@ -617,6 +647,7 @@ Result<Executor::Input> Executor::JoinPair(
       // thread) so workers only probe an immutable postings map;
       // per-batch match lists, probe counts, and page bitmaps are
       // merged on this thread in batch order.
+      op_scope.SetDetail("inl");
       const Input& outer = probe_right ? left : right;
       Table* inner_table = indexed_base;
       int outer_col = probe_right ? lcols[0] : rcols[0];
@@ -659,6 +690,9 @@ Result<Executor::Input> Executor::JoinPair(
         }
       };
       const size_t nb = NumScanBatches(okeys.size());
+      obs::ProfileOpScope probe_scope("inl_probe");
+      probe_scope.AddRowsIn(okeys.size());
+      probe_scope.AddBatches(nb);
       std::vector<MatchList> parts;
       std::vector<int64_t> batch_probes;
       std::vector<std::vector<uint8_t>> batch_pages;
@@ -683,6 +717,7 @@ Result<Executor::Input> Executor::JoinPair(
             }));
       }
       AppendMatches(parts, &lidx, &ridx);
+      probe_scope.AddRowsOut(lidx.size());
       for (int64_t probes : batch_probes) stats->index_probes += probes;
       stats->rows_scanned += static_cast<int64_t>(okeys.size());
       int64_t pages_touched = 0;
@@ -706,6 +741,8 @@ Result<Executor::Input> Executor::JoinPair(
       stats->pages_read += pages_touched;
     }
   }
+
+  op_scope.AddRowsOut(lidx.size());
 
   // Materialize the combined chunk: left columns then right columns.
   // Output columns are disjoint objects, so their gathers fan out
@@ -751,7 +788,13 @@ Result<Chunk> Executor::RunSelect(const SelectStmt& select) {
   std::vector<Input> inputs;
   inputs.reserve(select.from.size());
   for (const TableRef& ref : select.from) {
+    // Subquery inputs recurse into RunSelect on this thread, so their
+    // operator scopes nest under this scan node in the profile tree.
+    obs::ProfileOpScope op_scope(
+        "scan", ref.subquery != nullptr && !ref.alias.empty() ? ref.alias
+                                                              : ref.name);
     ORPHEUS_ASSIGN_OR_RETURN(Input input, ResolveTableRef(ref));
+    op_scope.AddRowsOut(input.data->num_rows());
     inputs.push_back(std::move(input));
   }
 
@@ -821,7 +864,10 @@ Result<Chunk> Executor::RunSelect(const SelectStmt& select) {
         // buffers, then the permutation is sorted with the
         // deterministic parallel merge sort (thread_pool.h) — same
         // result as a serial stable_sort at every thread count.
-        OperatorTimer op_timer("sort");
+        obs::ProfileOpScope op_scope("order_by", "pre-projection");
+        op_scope.AddRowsIn(sel.size());
+        op_scope.AddRowsOut(sel.size());
+        op_scope.AddBatches(NumScanBatches(sel.size()));
         std::vector<std::vector<Value>> keys(sel.size());
         ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
             sel.size(), kScanBatchRows,
@@ -871,6 +917,8 @@ Result<Chunk> Executor::RunSelect(const SelectStmt& select) {
 
 Result<Chunk> Executor::Project(const SelectStmt& select, const Input& input,
                                 const std::vector<uint32_t>& sel) {
+  obs::ProfileOpScope op_scope("project");
+  op_scope.AddRowsIn(sel.size());
   const Chunk& data = *input.data;
   const Schema& schema = input.schema;
 
@@ -957,6 +1005,7 @@ Result<Chunk> Executor::Project(const SelectStmt& select, const Input& input,
         for (const Value& v : computed) dst.Append(v);
       }
     }
+    op_scope.AddRowsOut(out.num_rows());
     return out;
   }
 
@@ -1000,12 +1049,14 @@ Result<Chunk> Executor::Project(const SelectStmt& select, const Input& input,
       }
     }
   }
+  op_scope.AddRowsOut(out.num_rows());
   return out;
 }
 
 Result<Chunk> Executor::Aggregate(const SelectStmt& select, const Input& input,
                                   const std::vector<uint32_t>& sel) {
-  OperatorTimer op_timer("aggregate");
+  obs::ProfileOpScope op_scope("aggregate");
+  op_scope.AddRowsIn(sel.size());
   const Chunk& data = *input.data;
   const Schema& schema = input.schema;
   Evaluator eval(this);
@@ -1252,6 +1303,8 @@ Result<Chunk> Executor::Aggregate(const SelectStmt& select, const Input& input,
     }
     out.AppendRow(row_values);
   }
+  op_scope.AddBatches(nb);
+  op_scope.AddRowsOut(out.num_rows());
   return out;
 }
 
@@ -1290,7 +1343,10 @@ Status Executor::ApplyOrderByLimit(const SelectStmt& select, Chunk* out) {
     }
     // Precompute sort keys batch-parallel, then sort the permutation
     // with the deterministic parallel merge sort (thread_pool.h).
-    OperatorTimer op_timer("sort");
+    obs::ProfileOpScope op_scope("order_by");
+    op_scope.AddRowsIn(out->num_rows());
+    op_scope.AddRowsOut(out->num_rows());
+    op_scope.AddBatches(NumScanBatches(out->num_rows()));
     std::vector<std::vector<Value>> keys(out->num_rows());
     ORPHEUS_RETURN_NOT_OK(ParallelBatchFor(
         out->num_rows(), kScanBatchRows,
